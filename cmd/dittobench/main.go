@@ -1,0 +1,86 @@
+// Command dittobench regenerates the paper's evaluation artifacts: every
+// table and figure of §6, printed as machine-readable rows.
+//
+// Usage:
+//
+//	dittobench -run fig5 [-tune 4] [-ms 160] [-seed 1] [-apps redis,nginx]
+//	dittobench -run all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ditto/internal/app"
+	"ditto/internal/experiments"
+	"ditto/internal/platform"
+	"ditto/internal/sim"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment: table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|phases|all")
+		tune  = flag.Int("tune", 3, "fine-tuning iterations per clone")
+		ms    = flag.Int("ms", 160, "measurement window (simulated ms)")
+		seed  = flag.Int64("seed", 1, "simulation seed")
+		apps  = flag.String("apps", "", "comma-separated app filter for fig5/7/8")
+		quick = flag.Bool("quick", false, "small windows, no tuning (smoke run)")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Windows: experiments.Windows{
+			Warmup:  sim.Time(*ms/4) * sim.Millisecond,
+			Measure: sim.Time(*ms) * sim.Millisecond,
+		},
+		TuneIters:     *tune,
+		Seed:          *seed,
+		IncludeSocial: true,
+	}
+	if *apps != "" {
+		opt.Apps = strings.Split(*apps, ",")
+	}
+	if *quick {
+		opt.Windows = experiments.Windows{Warmup: 10 * sim.Millisecond, Measure: 50 * sim.Millisecond}
+		opt.TuneIters = 0
+		opt.IncludeSocial = false
+	}
+
+	w := os.Stdout
+	runOne := func(name string) {
+		switch name {
+		case "table1":
+			experiments.RunTable1(w)
+		case "fig5":
+			experiments.RunFig5(w, opt)
+		case "fig6":
+			experiments.RunFig6(w, opt, nil)
+		case "fig7":
+			experiments.RunFig7(w, opt)
+		case "fig8":
+			experiments.RunFig8(w, opt)
+		case "fig9":
+			experiments.RunFig9(w, opt)
+		case "fig10":
+			experiments.RunFig10(w, opt)
+		case "fig11":
+			experiments.RunFig11(w, opt, nil, nil)
+		case "phases":
+			experiments.RunPhaseScan(w, opt, func(m *platform.Machine) app.App {
+				return app.NewRedis(m, 6379, opt.Seed)
+			}, experiments.Load{Conns: 8, Seed: opt.Seed}, 10)
+		default:
+			fmt.Fprintf(os.Stderr, "dittobench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+	if *run == "all" {
+		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"} {
+			runOne(name)
+		}
+		return
+	}
+	runOne(*run)
+}

@@ -1,0 +1,67 @@
+// Command dittoprof runs one of the bundled original applications on the
+// simulated Platform A under a representative load, profiles it with the
+// full Ditto analyzer stack (§4), and writes the resulting AppProfile JSON
+// to stdout or a file.
+//
+// Usage:
+//
+//	dittoprof -app redis [-conns 8] [-qps 0] [-ms 200] [-o profile.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ditto/internal/app"
+	"ditto/internal/experiments"
+	"ditto/internal/platform"
+	"ditto/internal/sim"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "redis", "application to profile: memcached|nginx|mongodb|redis")
+		conns   = flag.Int("conns", 8, "client connections")
+		qps     = flag.Float64("qps", 0, "open-loop QPS (0 = closed loop)")
+		ms      = flag.Int("ms", 200, "profiling window in simulated milliseconds")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var build experiments.AppBuilder
+	switch *appName {
+	case "memcached":
+		build = func(m *platform.Machine) app.App { return app.NewMemcached(m, 11211, *seed) }
+	case "nginx":
+		build = func(m *platform.Machine) app.App { return app.NewNginx(m, 80, *seed) }
+	case "mongodb":
+		build = func(m *platform.Machine) app.App { return app.NewMongoDB(m, 27017, *seed) }
+	case "redis":
+		build = func(m *platform.Machine) app.App { return app.NewRedis(m, 6379, *seed) }
+	default:
+		fmt.Fprintf(os.Stderr, "dittoprof: unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+
+	load := experiments.Load{QPS: *qps, Conns: *conns, Seed: *seed}
+	win := experiments.Windows{Warmup: 20 * sim.Millisecond,
+		Measure: sim.Time(*ms) * sim.Millisecond}
+	prof := experiments.ProfileRun(build, load, win, 256<<20)
+
+	data, err := prof.Encode()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dittoprof: encode: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "dittoprof: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dittoprof: wrote %s (%d requests profiled)\n", *out, prof.Requests)
+}

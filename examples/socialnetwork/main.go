@@ -1,0 +1,49 @@
+// Social-network example: deploy the 16-tier DeathStarBench-style Social
+// Network over two simulated machines, clone every tier with Ditto
+// (topology from distributed traces, per-tier skeleton+body from the
+// profilers), and compare end-to-end latency of the original against the
+// fully synthetic deployment — the Fig. 6 scenario.
+package main
+
+import (
+	"fmt"
+
+	"ditto/internal/experiments"
+	"ditto/internal/platform"
+	"ditto/internal/sim"
+)
+
+func main() {
+	win := experiments.Windows{Warmup: 20 * sim.Millisecond, Measure: 120 * sim.Millisecond}
+	profLoad := experiments.Load{QPS: 400, Conns: 12, Mix: experiments.SNMix(), Seed: 9}
+
+	fmt.Println("== profiling the original social network (16 tiers, 2 nodes) ==")
+	clone := experiments.CloneSN(platform.A(), 2, 8, profLoad, win, 9)
+	fmt.Printf("cloned %d tiers; learned topology plans:\n", len(clone.Order))
+	for _, name := range clone.Order {
+		plan := clone.Plans[name]
+		edges := 0
+		for _, calls := range plan.Calls {
+			edges += len(calls)
+		}
+		fmt.Printf("  %-24s %2d downstream edges, %4.0f instrs/req\n",
+			name, edges, clone.Profiles[name].Body.InstrsPerRequest)
+	}
+
+	fmt.Println("== end-to-end latency, original vs fully synthetic ==")
+	fmt.Printf("%8s %12s %10s %10s %10s\n", "qps", "variant", "p50 ms", "p95 ms", "p99 ms")
+	for _, qps := range []float64{150, 400, 800} {
+		load := experiments.Load{QPS: qps, Conns: 12, Mix: experiments.SNMix(), Seed: 9}
+
+		orig := experiments.NewOriginalSN(platform.A(), 2, 8, 9)
+		e2eO, _ := experiments.MeasureSN(orig, load, win, nil)
+		orig.Env.Shutdown()
+
+		syn := experiments.NewSynthSN(clone, platform.A(), 2, 8, 10)
+		e2eS, _ := experiments.MeasureSN(syn, load, win, nil)
+		syn.Env.Shutdown()
+
+		fmt.Printf("%8.0f %12s %10.3f %10.3f %10.3f\n", qps, "actual", e2eO.P50Ms, e2eO.P95Ms, e2eO.P99Ms)
+		fmt.Printf("%8.0f %12s %10.3f %10.3f %10.3f\n", qps, "synthetic", e2eS.P50Ms, e2eS.P95Ms, e2eS.P99Ms)
+	}
+}

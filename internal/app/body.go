@@ -1,0 +1,323 @@
+// Package app implements the "original" cloud applications the Ditto
+// pipeline clones: a framework of thread and network models (§4.3) plus the
+// six evaluation workloads (Memcached, NGINX, MongoDB, Redis, and the
+// Social Network microservices).
+//
+// Each application's request-handling body is driven by hidden generation
+// parameters (PhaseSpec): static code is laid out at construction — slots
+// with fixed opcodes, register dependence chains, per-branch bias state and
+// working-set assignments — and each invocation walks that code emitting a
+// dynamic instruction stream. Ditto never reads these parameters; it
+// observes only the executed streams, syscalls and traces, exactly as
+// SDE/Valgrind/SystemTap observe a real binary.
+package app
+
+import (
+	"ditto/internal/branch"
+	"ditto/internal/isa"
+	"ditto/internal/stats"
+)
+
+// WorkingSet is one tier of a phase's data footprint.
+type WorkingSet struct {
+	Bytes int     // region size
+	Frac  float64 // fraction of memory accesses landing here
+}
+
+// BranchMN is one (taken rate 2^-M, transition rate 2^-N) behaviour class
+// with a sampling weight.
+type BranchMN struct {
+	M, N   int
+	Weight float64
+}
+
+// ClassWeights weights the instruction classes a phase's static code is
+// built from.
+type ClassWeights struct {
+	Load, Store, ALU, Mul, Div, FP, SIMD, CRC, Lock, Rep float64
+}
+
+// PhaseSpec is the hidden parameter set for one compute phase of a request
+// handler (e.g. "parse", "hash lookup", "serialize").
+type PhaseSpec struct {
+	Name           string
+	MeanInstrs     int     // mean dynamic instructions per invocation
+	JitterPct      float64 // uniform ± jitter on the per-invocation count
+	FootprintBytes int     // static code bytes (i-cache pressure)
+	Weights        ClassWeights
+	BranchFrac     float64 // fraction of slots that are conditional branches
+	Branches       []BranchMN
+	WorkingSets    []WorkingSet
+	RegularFrac    float64 // sequential (prefetch-friendly) access fraction
+	PointerFrac    float64 // fraction of loads that are pointer chases
+	SharedFrac     float64 // fraction of accesses to coherence-shared data
+	DepChain       int     // mean register dependence chain length (≥1)
+	RepBytes       int     // REP op transfer size (value copies); 0 = 256
+}
+
+// slotKind classifies a static code slot.
+type slotKind uint8
+
+const (
+	slotPlain slotKind = iota
+	slotMem
+	slotBranch
+	slotRep
+)
+
+// slot is one static instruction in a phase's code.
+type slot struct {
+	tmpl    isa.Instr
+	kind    slotKind
+	bb      *branch.BitmaskBranch
+	target  int // branch target slot
+	wsIdx   int
+	regular bool
+}
+
+// wsRegion is a data region instance with its sequential cursor.
+type wsRegion struct {
+	base   uint64
+	size   uint64
+	cursor uint64
+}
+
+// Phase is instantiated static code plus its mutable execution state
+// (branch counters, working-set cursors). State persists across
+// invocations, so profiled rates are stationary.
+type Phase struct {
+	spec    PhaseSpec
+	slots   []slot
+	regions []wsRegion
+	wsPick  *stats.Categorical
+	rng     *stats.Rand
+	pcBase  uint64
+}
+
+// NewPhase lays out the static code for spec. codeBase/dataBase position
+// the phase in its process's address space; seed fixes all construction
+// randomness.
+func NewPhase(spec PhaseSpec, codeBase, dataBase uint64, seed int64) *Phase {
+	if spec.MeanInstrs <= 0 {
+		spec.MeanInstrs = 1000
+	}
+	if spec.FootprintBytes < 256 {
+		spec.FootprintBytes = 256
+	}
+	if spec.DepChain < 1 {
+		spec.DepChain = 1
+	}
+	if spec.RepBytes <= 0 {
+		spec.RepBytes = 256
+	}
+	if len(spec.WorkingSets) == 0 {
+		spec.WorkingSets = []WorkingSet{{Bytes: 4096, Frac: 1}}
+	}
+	if len(spec.Branches) == 0 {
+		spec.Branches = []BranchMN{{M: 1, N: 1, Weight: 1}}
+	}
+	ph := &Phase{spec: spec, rng: stats.NewRand(seed), pcBase: codeBase}
+
+	base := dataBase
+	wsW := make([]float64, len(spec.WorkingSets))
+	for i, ws := range spec.WorkingSets {
+		size := uint64(ws.Bytes)
+		if size < 64 {
+			size = 64
+		}
+		ph.regions = append(ph.regions, wsRegion{base: base, size: size})
+		base += (size + 4095) &^ 4095
+		wsW[i] = ws.Frac
+	}
+	ph.wsPick = stats.NewCategorical(wsW)
+
+	brPick := stats.NewCategorical(weightsOf(spec.Branches))
+	nSlots := spec.FootprintBytes / isa.InstrBytes
+	ph.slots = make([]slot, nSlots)
+
+	w := spec.Weights
+	classes := stats.NewCategorical([]float64{
+		w.Load, w.Store, w.ALU, w.Mul, w.Div, w.FP, w.SIMD, w.CRC, w.Lock, w.Rep,
+	})
+	chainReg := isa.R1
+	for i := range ph.slots {
+		s := &ph.slots[i]
+		pc := codeBase + uint64(i)*isa.InstrBytes
+		if ph.rng.Float64() < spec.BranchFrac {
+			mn := spec.Branches[brPick.Sample(ph.rng)]
+			s.kind = slotBranch
+			s.bb = branch.NewBitmaskBranch(mn.M, mn.N)
+			s.bb.SetPhase(ph.rng.Uint64() % (1 << 11)) // de-align periods
+			s.tmpl = isa.Instr{Op: isa.JCC, PC: pc,
+				BranchID: int32(i), Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+			if ph.rng.Float64() < 0.8 {
+				s.target = min(i+2+ph.rng.Intn(14), nSlots-1) // forward skip
+			} else {
+				s.target = max(i-8-ph.rng.Intn(24), 0) // back edge
+			}
+			continue
+		}
+		op := ph.pickOp(classes)
+		f := &isa.Table[op]
+		in := isa.Instr{Op: op, PC: pc, BranchID: -1,
+			Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+
+		// Register assignment: continue the dependence chain with
+		// probability 1-1/DepChain, otherwise rotate to a fresh register.
+		if ph.rng.Float64() < 1.0/float64(spec.DepChain) {
+			chainReg = isa.Reg(1 + ph.rng.Intn(7)) // r1..r7 (r8-r11 reserved)
+		}
+		vec := f.Operands == isa.OpXMM
+		if vec {
+			in.Dst = isa.X0 + isa.Reg(ph.rng.Intn(12))
+			in.Src1 = in.Dst
+			in.Src2 = isa.X0 + isa.Reg(ph.rng.Intn(12))
+		} else {
+			in.Dst = chainReg
+			in.Src1 = chainReg
+			in.Src2 = isa.Reg(1 + ph.rng.Intn(7))
+		}
+
+		switch {
+		case f.Rep:
+			s.kind = slotRep
+			in.RepCount = int32(spec.RepBytes)
+			in.Dst, in.Src1, in.Src2 = isa.RegNone, isa.RegNone, isa.RegNone
+			s.wsIdx = ph.wsPick.Sample(ph.rng)
+			s.regular = true
+		case f.Load || f.Store:
+			s.kind = slotMem
+			s.wsIdx = ph.wsPick.Sample(ph.rng)
+			s.regular = ph.rng.Float64() < spec.RegularFrac
+			if f.Load && !f.Store && ph.rng.Float64() < spec.PointerFrac {
+				in.Op = isa.MOVptr
+				in.Dst, in.Src1, in.Src2 = isa.R11, isa.R11, isa.RegNone
+			} else if f.Load {
+				in.Src1 = isa.R10
+			} else {
+				in.Dst = isa.RegNone // store
+			}
+			in.Shared = ph.rng.Float64() < spec.SharedFrac
+		default:
+			s.kind = slotPlain
+			if f.Store {
+				in.Dst = isa.RegNone
+			}
+		}
+		s.tmpl = in
+	}
+	return ph
+}
+
+// weightsOf extracts branch weights.
+func weightsOf(bs []BranchMN) []float64 {
+	w := make([]float64, len(bs))
+	for i, b := range bs {
+		w[i] = b.Weight
+	}
+	return w
+}
+
+// pickOp samples a concrete opcode for a class choice.
+func (ph *Phase) pickOp(classes *stats.Categorical) isa.Op {
+	r := ph.rng
+	switch classes.Sample(r) {
+	case 0: // load
+		return pick(r, isa.MOVload, isa.MOVload, isa.MOVload, isa.MOVZXload,
+			isa.ADDload, isa.CMPload, isa.MOVAPSload)
+	case 1: // store
+		return pick(r, isa.MOVstore, isa.MOVstore, isa.MOVstore, isa.MOVAPSstore)
+	case 2: // alu
+		return pick(r, isa.ADDrr, isa.SUBrr, isa.ANDrr, isa.ORrr, isa.XORrr,
+			isa.CMPrr, isa.TESTri, isa.SHLri, isa.SHRri, isa.LEA, isa.MOVrr,
+			isa.MOVri, isa.INCr, isa.DECr)
+	case 3: // mul
+		return pick(r, isa.IMULrr, isa.IMULrr, isa.MULr)
+	case 4: // div
+		return pick(r, isa.DIVr, isa.IDIVr)
+	case 5: // fp
+		return pick(r, isa.ADDSDxx, isa.MULSDxx, isa.SUBSDxx, isa.CVTSI2SD,
+			isa.COMISDxx, isa.DIVSDxx)
+	case 6: // simd
+		return pick(r, isa.PADDDxx, isa.PXORxx, isa.PANDxx, isa.PSUBDxx,
+			isa.PMULLDxx, isa.PSHUFBxx, isa.POPCNTrr)
+	case 7:
+		return isa.CRC32rr
+	case 8: // lock
+		return pick(r, isa.LOCKADD, isa.LOCKXADD, isa.LOCKCMPXCHG, isa.LOCKDEC)
+	default: // rep
+		return pick(r, isa.REPMOVSB, isa.REPMOVSB, isa.REPSTOSB)
+	}
+}
+
+func pick(r *stats.Rand, ops ...isa.Op) isa.Op { return ops[r.Intn(len(ops))] }
+
+// Emit appends one invocation's dynamic stream to buf and returns it. The
+// scale multiplies the instruction budget (load-dependent work).
+func (ph *Phase) Emit(buf []isa.Instr, scale float64) []isa.Instr {
+	target := float64(ph.spec.MeanInstrs) * scale
+	if j := ph.spec.JitterPct; j > 0 {
+		target *= 1 + (ph.rng.Float64()*2-1)*j
+	}
+	n := int(target)
+	if n < 1 {
+		n = 1
+	}
+	i := 0
+	for emitted := 0; emitted < n; emitted++ {
+		s := &ph.slots[i]
+		in := s.tmpl
+		next := i + 1
+		switch s.kind {
+		case slotBranch:
+			taken := s.bb.Next()
+			in.Taken = taken
+			if taken {
+				next = s.target
+			}
+		case slotMem, slotRep:
+			in.Addr = ph.address(s)
+		}
+		buf = append(buf, in)
+		if next >= len(ph.slots) {
+			next = 0
+		}
+		i = next
+	}
+	return buf
+}
+
+// address produces the next data address for a memory slot.
+func (ph *Phase) address(s *slot) uint64 {
+	r := &ph.regions[s.wsIdx]
+	if s.regular {
+		r.cursor += isa.LineBytes
+		if r.cursor >= r.size {
+			r.cursor = 0
+		}
+		return r.base + r.cursor
+	}
+	off := (ph.rng.Uint64() % r.size) &^ 7
+	return r.base + off
+}
+
+// Spec returns the phase's hidden parameters (used only by tests and by the
+// ground-truth debugging tools, never by the Ditto pipeline).
+func (ph *Phase) Spec() PhaseSpec { return ph.spec }
+
+// CodeBase returns the phase's code base address.
+func (ph *Phase) CodeBase() uint64 { return ph.pcBase }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

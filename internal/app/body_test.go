@@ -1,0 +1,233 @@
+package app
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ditto/internal/isa"
+)
+
+func basicSpec() PhaseSpec {
+	return PhaseSpec{
+		Name: "t", MeanInstrs: 5000, FootprintBytes: 16 << 10,
+		Weights:     ClassWeights{Load: 0.3, Store: 0.1, ALU: 0.6},
+		BranchFrac:  0.15,
+		Branches:    []BranchMN{{M: 1, N: 2, Weight: 1}},
+		WorkingSets: []WorkingSet{{Bytes: 4096, Frac: 0.5}, {Bytes: 1 << 20, Frac: 0.5}},
+		RegularFrac: 0.5, DepChain: 2,
+	}
+}
+
+func TestPhaseEmitLength(t *testing.T) {
+	ph := NewPhase(basicSpec(), 0x400000, 0x10000000, 1)
+	s := ph.Emit(nil, 1)
+	if len(s) != 5000 {
+		t.Fatalf("emitted %d, want 5000 (no jitter)", len(s))
+	}
+	s2 := ph.Emit(nil, 2)
+	if len(s2) != 10000 {
+		t.Fatalf("scale 2 emitted %d", len(s2))
+	}
+	spec := basicSpec()
+	spec.JitterPct = 0.2
+	phj := NewPhase(spec, 0x400000, 0x10000000, 1)
+	lens := map[int]bool{}
+	for i := 0; i < 10; i++ {
+		lens[len(phj.Emit(nil, 1))] = true
+	}
+	if len(lens) < 2 {
+		t.Fatal("jitter should vary invocation lengths")
+	}
+}
+
+func TestPhasePCsWithinFootprint(t *testing.T) {
+	ph := NewPhase(basicSpec(), 0x400000, 0x10000000, 2)
+	for _, in := range ph.Emit(nil, 1) {
+		if in.PC < 0x400000 || in.PC >= 0x400000+16<<10 {
+			t.Fatalf("PC %#x outside code region", in.PC)
+		}
+	}
+}
+
+func TestPhaseMixApproximatesWeights(t *testing.T) {
+	ph := NewPhase(basicSpec(), 0x400000, 0x10000000, 3)
+	s := ph.Emit(nil, 4)
+	var loads, stores, branches, total int
+	for i := range s {
+		f := s[i].Form()
+		switch {
+		case f.Branch:
+			branches++
+		case f.Load:
+			loads++
+		case f.Store:
+			stores++
+		}
+		total++
+	}
+	loadFrac := float64(loads) / float64(total)
+	brFrac := float64(branches) / float64(total)
+	// Non-branch slots are 85%; load weight 0.3 of those ⇒ ~25%.
+	if loadFrac < 0.15 || loadFrac > 0.36 {
+		t.Fatalf("load fraction = %v", loadFrac)
+	}
+	if brFrac < 0.08 || brFrac > 0.25 {
+		t.Fatalf("branch fraction = %v", brFrac)
+	}
+	_ = stores
+}
+
+func TestPhaseBranchRates(t *testing.T) {
+	spec := basicSpec()
+	spec.Branches = []BranchMN{{M: 2, N: 3, Weight: 1}}
+	spec.MeanInstrs = 40000
+	ph := NewPhase(spec, 0x400000, 0x10000000, 4)
+	s := ph.Emit(nil, 1)
+	perBranch := map[int32][2]int{} // taken, total
+	for i := range s {
+		if s[i].BranchID >= 0 {
+			c := perBranch[s[i].BranchID]
+			if s[i].Taken {
+				c[0]++
+			}
+			c[1]++
+			perBranch[s[i].BranchID] = c
+		}
+	}
+	if len(perBranch) == 0 {
+		t.Fatal("no branches emitted")
+	}
+	// Aggregate taken rate should be near 2^-2 = 0.25.
+	var taken, total int
+	for _, c := range perBranch {
+		taken += c[0]
+		total += c[1]
+	}
+	rate := float64(taken) / float64(total)
+	if math.Abs(rate-0.25) > 0.08 {
+		t.Fatalf("aggregate taken rate = %v, want ≈ 0.25", rate)
+	}
+}
+
+func TestPhaseAddressesWithinRegions(t *testing.T) {
+	ph := NewPhase(basicSpec(), 0x400000, 0x10000000, 5)
+	s := ph.Emit(nil, 2)
+	lo := uint64(0x10000000)
+	hi := lo + 4096 + 1<<20 + 8192 // regions plus page padding
+	seen := 0
+	for i := range s {
+		f := s[i].Form()
+		if !(f.Load || f.Store) || s[i].Addr == 0 {
+			continue
+		}
+		seen++
+		if s[i].Addr < lo || s[i].Addr >= hi {
+			t.Fatalf("address %#x outside data regions", s[i].Addr)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no memory accesses emitted")
+	}
+}
+
+func TestPhaseDeterminism(t *testing.T) {
+	a := NewPhase(basicSpec(), 0x400000, 0x10000000, 7)
+	b := NewPhase(basicSpec(), 0x400000, 0x10000000, 7)
+	sa := a.Emit(nil, 1)
+	sb := b.Emit(nil, 1)
+	if len(sa) != len(sb) {
+		t.Fatal("lengths differ")
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("instr %d differs", i)
+		}
+	}
+	c := NewPhase(basicSpec(), 0x400000, 0x10000000, 8)
+	sc := c.Emit(nil, 1)
+	same := true
+	for i := range sa {
+		if i < len(sc) && sa[i] != sc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestPhaseDefaultsApplied(t *testing.T) {
+	ph := NewPhase(PhaseSpec{Name: "empty"}, 0x1000, 0x2000, 1)
+	s := ph.Emit(nil, 1)
+	if len(s) == 0 {
+		t.Fatal("defaulted phase should emit")
+	}
+	if ph.Spec().DepChain < 1 || ph.Spec().MeanInstrs <= 0 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestPointerChaseUsesR11(t *testing.T) {
+	spec := basicSpec()
+	spec.PointerFrac = 1.0
+	ph := NewPhase(spec, 0x400000, 0x10000000, 9)
+	s := ph.Emit(nil, 1)
+	found := false
+	for i := range s {
+		if s[i].Op == isa.MOVptr {
+			found = true
+			if s[i].Dst != isa.R11 || s[i].Src1 != isa.R11 {
+				t.Fatal("pointer chase must chain through r11")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no pointer-chase loads emitted")
+	}
+}
+
+func TestRepSlots(t *testing.T) {
+	spec := basicSpec()
+	spec.Weights = ClassWeights{Rep: 1}
+	spec.BranchFrac = 0
+	spec.RepBytes = 4096
+	ph := NewPhase(spec, 0x400000, 0x10000000, 10)
+	s := ph.Emit(nil, 1)
+	for i := range s {
+		if !s[i].Form().Rep {
+			t.Fatalf("expected only REP ops, got %s", s[i].Form().Name)
+		}
+		if s[i].RepCount != 4096 {
+			t.Fatalf("RepCount = %d", s[i].RepCount)
+		}
+	}
+}
+
+// Property: Emit always produces exactly the requested count for any
+// reasonable spec (no branch-target loops escape the budget).
+func TestEmitBudgetProperty(t *testing.T) {
+	f := func(seed int64, brFrac uint8, fp uint16) bool {
+		spec := basicSpec()
+		spec.JitterPct = 0
+		spec.MeanInstrs = 2000
+		spec.BranchFrac = float64(brFrac%60) / 100
+		spec.FootprintBytes = 1024 + int(fp%32)*1024
+		ph := NewPhase(spec, 0x400000, 0x10000000, seed)
+		return len(ph.Emit(nil, 1)) == 2000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhaseBodyScale(t *testing.T) {
+	ph := NewPhase(basicSpec(), 0x400000, 0x10000000, 11)
+	b := &PhaseBody{Phases: []*Phase{ph}, Scale: map[int]float64{1: 0.5}}
+	k0 := b.EmitRequest(0, nil)
+	k1 := b.EmitRequest(1, nil)
+	if len(k1) >= len(k0) {
+		t.Fatalf("scaled kind should be shorter: %d vs %d", len(k1), len(k0))
+	}
+}

@@ -1,0 +1,235 @@
+package app
+
+import (
+	"ditto/internal/dtrace"
+	"ditto/internal/kernel"
+	"ditto/internal/platform"
+	"ditto/internal/stats"
+)
+
+// SocialNetwork is the DeathStarBench-style microservice topology of
+// §6.1.2: a frontend plus ~15 dependent tiers (logic, text, graph, cache
+// and storage services) composed over the socfb-Reed98-sized social graph
+// (962 users, 18.8K follow edges). TextService and SocialGraphService are
+// the two tiers the paper plots individually in Fig. 5.
+type SocialNetwork struct {
+	Tiers     map[string]*Tier
+	Order     []string // tier names in construction order
+	Frontend  *Tier
+	Collector *dtrace.Collector
+}
+
+// Graph constants for the socfb-Reed98 dataset.
+const (
+	SocialUsers = 962
+	SocialEdges = 18812
+)
+
+// FrontendName is the entry tier's name.
+const FrontendName = "nginx-thrift"
+
+// Lookup implements Registry.
+func (sn *SocialNetwork) Lookup(name string) (*kernel.Kernel, int) {
+	t := sn.Tiers[name]
+	return t.M.Kernel, t.Cfg.Port
+}
+
+// Tier returns a tier by name (nil if absent).
+func (sn *SocialNetwork) Tier(name string) *Tier { return sn.Tiers[name] }
+
+// Start launches every tier.
+func (sn *SocialNetwork) Start() {
+	for _, name := range sn.Order {
+		sn.Tiers[name].Start()
+	}
+}
+
+// Port returns the frontend port.
+func (sn *SocialNetwork) Port() int { return sn.Frontend.Cfg.Port }
+
+// NewSocialNetwork assembles the topology. place maps a tier name to the
+// machine it deploys on (one replica per tier); basePort spaces listen
+// ports; seed fixes all hidden parameters.
+func NewSocialNetwork(place func(tier string) *platform.Machine, basePort int, seed int64) *SocialNetwork {
+	sn := &SocialNetwork{Tiers: map[string]*Tier{}, Collector: dtrace.NewCollector(1)}
+
+	type tierDef struct {
+		name  string
+		model string
+		arch  string // phase archetype
+		resp  int
+		calls map[int][]Call
+	}
+	defs := []tierDef{
+		{name: FrontendName, model: "pool", arch: "frontend", resp: 1024, calls: map[int][]Call{
+			KindComposePost:      {{Target: "compose-post-service", Prob: 1, ReqBytes: 512, RespBytes: 256}},
+			KindReadHomeTimeline: {{Target: "home-timeline-service", Prob: 1, ReqBytes: 256, RespBytes: 4096}},
+			KindReadUserTimeline: {{Target: "user-timeline-service", Prob: 1, ReqBytes: 256, RespBytes: 4096}},
+		}},
+		{name: "compose-post-service", model: "pool", arch: "logic", resp: 256, calls: map[int][]Call{
+			KindComposePost: {
+				{Target: "unique-id-service", Prob: 1, ReqBytes: 128, RespBytes: 64},
+				{Target: "text-service", Prob: 1, ReqBytes: 512, RespBytes: 256},
+				{Target: "user-service", Prob: 1, ReqBytes: 128, RespBytes: 128},
+				{Target: "media-service", Prob: 0.3, ReqBytes: 256, RespBytes: 128},
+				{Target: "post-storage-service", Prob: 1, ReqBytes: 1024, RespBytes: 64},
+				{Target: "user-timeline-service", Prob: 1, ReqBytes: 256, RespBytes: 64},
+				{Target: "home-timeline-service", Prob: 1, ReqBytes: 256, RespBytes: 64},
+			},
+		}},
+		{name: "text-service", model: "epoll", arch: "text", resp: 256, calls: map[int][]Call{
+			KindComposePost: {
+				{Target: "url-shorten-service", Prob: 0.4, ReqBytes: 256, RespBytes: 128},
+				{Target: "user-mention-service", Prob: 0.6, ReqBytes: 256, RespBytes: 128},
+			},
+		}},
+		{name: "home-timeline-service", model: "pool", arch: "logic", resp: 4096, calls: map[int][]Call{
+			KindComposePost: {
+				{Target: "social-graph-service", Prob: 1, ReqBytes: 128, RespBytes: 1024},
+			},
+			KindReadHomeTimeline: {
+				{Target: "social-graph-service", Prob: 1, ReqBytes: 128, RespBytes: 1024},
+				{Target: "post-storage-service", Prob: 1, ReqBytes: 256, RespBytes: 4096},
+			},
+		}},
+		{name: "user-timeline-service", model: "pool", arch: "logic", resp: 4096, calls: map[int][]Call{
+			KindComposePost:      {{Target: "post-storage-service", Prob: 0.5, ReqBytes: 512, RespBytes: 64}},
+			KindReadUserTimeline: {{Target: "post-storage-service", Prob: 1, ReqBytes: 256, RespBytes: 4096}},
+		}},
+		{name: "social-graph-service", model: "epoll", arch: "graph", resp: 1024, calls: map[int][]Call{
+			KindComposePost: {
+				{Target: "social-graph-redis", Prob: 1, ReqBytes: 128, RespBytes: 512},
+			},
+			KindReadHomeTimeline: {
+				{Target: "social-graph-redis", Prob: 1, ReqBytes: 128, RespBytes: 512},
+				{Target: "social-graph-mongodb", Prob: 0.25, ReqBytes: 256, RespBytes: 1024},
+			},
+		}},
+		{name: "post-storage-service", model: "epoll", arch: "logic", resp: 4096, calls: map[int][]Call{
+			KindComposePost: {
+				{Target: "post-storage-memcached", Prob: 1, ReqBytes: 1024, RespBytes: 64},
+				{Target: "post-storage-mongodb", Prob: 1, ReqBytes: 1024, RespBytes: 64},
+			},
+			KindReadHomeTimeline: {
+				{Target: "post-storage-memcached", Prob: 1, ReqBytes: 256, RespBytes: 4096},
+				{Target: "post-storage-mongodb", Prob: 0.35, ReqBytes: 256, RespBytes: 4096},
+			},
+			KindReadUserTimeline: {
+				{Target: "post-storage-memcached", Prob: 1, ReqBytes: 256, RespBytes: 4096},
+				{Target: "post-storage-mongodb", Prob: 0.35, ReqBytes: 256, RespBytes: 4096},
+			},
+		}},
+		{name: "unique-id-service", model: "epoll", arch: "logic", resp: 64},
+		{name: "user-service", model: "epoll", arch: "logic", resp: 128},
+		{name: "media-service", model: "epoll", arch: "logic", resp: 128},
+		{name: "url-shorten-service", model: "epoll", arch: "text", resp: 128},
+		{name: "user-mention-service", model: "epoll", arch: "text", resp: 128},
+		{name: "post-storage-memcached", model: "epoll", arch: "cache", resp: 4096},
+		{name: "post-storage-mongodb", model: "pool", arch: "store", resp: 4096},
+		{name: "social-graph-redis", model: "epoll", arch: "cache", resp: 512},
+		{name: "social-graph-mongodb", model: "pool", arch: "store", resp: 1024},
+	}
+
+	for i, d := range defs {
+		m := place(d.name)
+		cfg := TierConfig{Name: d.name, Port: basePort + i, Model: d.model,
+			RespBytes: d.resp, Calls: d.calls, Seed: seed + int64(i)*1000}
+		t := NewTier(m, cfg, nil)
+		t.Body = archetypeBody(d.arch, t.P.MemBase, cfg.Seed)
+		t.Registry = sn
+		t.Collector = sn.Collector
+		if d.arch == "store" {
+			attachStoreIO(t, 4<<30, 16<<10, cfg.Seed)
+		}
+		sn.Tiers[d.name] = t
+		sn.Order = append(sn.Order, d.name)
+	}
+	sn.Frontend = sn.Tiers[FrontendName]
+	return sn
+}
+
+// attachStoreIO gives a storage tier a dataset file and a per-request pread
+// at a random offset.
+func attachStoreIO(t *Tier, datasetBytes int64, readBytes int, seed int64) {
+	file := t.M.Kernel.CreateFile("/data/"+t.Cfg.Name+".wt", datasetBytes)
+	rng := stats.NewRand(seed + 31)
+	t.PostWork = func(th *kernel.Thread, kind int) {
+		off := rng.Int63n(datasetBytes/kernel.PageBytes-16) * kernel.PageBytes
+		fd := th.Open(file.Name)
+		th.Pread(fd, readBytes, off)
+		th.CloseFD(fd)
+	}
+}
+
+// archetypeBody builds the hidden-parameter body for one tier archetype.
+func archetypeBody(arch string, memBase uint64, seed int64) Body {
+	code := memBase
+	data := memBase + 1<<30
+	mk := func(spec PhaseSpec, off uint64, s int64) *Phase {
+		return NewPhase(spec, code+off<<20, data+off<<26, seed+s)
+	}
+	switch arch {
+	case "frontend":
+		return &PhaseBody{Phases: []*Phase{
+			mk(PhaseSpec{Name: "http", MeanInstrs: 900, JitterPct: 0.2, FootprintBytes: 48 << 10,
+				Weights:     ClassWeights{Load: 0.24, Store: 0.08, ALU: 0.56, SIMD: 0.07, CRC: 0.05},
+				BranchFrac:  0.19,
+				Branches:    []BranchMN{{M: 1, N: 1, Weight: 0.3}, {M: 1, N: 3, Weight: 0.4}, {M: 3, N: 5, Weight: 0.3}},
+				WorkingSets: []WorkingSet{{Bytes: 24 << 10, Frac: 0.6}, {Bytes: 1 << 20, Frac: 0.4}},
+				RegularFrac: 0.4, DepChain: 2}, 0, 0),
+		}}
+	case "text":
+		// TextService: tokenization and url/mention scanning — string ops,
+		// CRC hashing, SIMD compares, hot small working set (high IPC tier).
+		return &PhaseBody{Phases: []*Phase{
+			mk(PhaseSpec{Name: "tokenize", MeanInstrs: 1100, JitterPct: 0.25, FootprintBytes: 18 << 10,
+				Weights:     ClassWeights{Load: 0.2, Store: 0.08, ALU: 0.5, SIMD: 0.12, CRC: 0.07, Rep: 0.03},
+				BranchFrac:  0.16,
+				Branches:    []BranchMN{{M: 1, N: 2, Weight: 0.5}, {M: 2, N: 4, Weight: 0.5}},
+				WorkingSets: []WorkingSet{{Bytes: 12 << 10, Frac: 0.7}, {Bytes: 256 << 10, Frac: 0.3}},
+				RegularFrac: 0.65, DepChain: 3, RepBytes: 512}, 0, 0),
+		}}
+	case "graph":
+		// SocialGraphService: adjacency walks over the Reed98 graph —
+		// pointer chasing over a compact edge set (low LLC miss, high IPC).
+		edgeBytes := SocialEdges * 16
+		return &PhaseBody{Phases: []*Phase{
+			mk(PhaseSpec{Name: "graph-walk", MeanInstrs: 950, JitterPct: 0.3, FootprintBytes: 14 << 10,
+				Weights:    ClassWeights{Load: 0.34, Store: 0.05, ALU: 0.52, Mul: 0.02, SIMD: 0.04, Lock: 0.03},
+				BranchFrac: 0.13,
+				Branches:   []BranchMN{{M: 1, N: 1, Weight: 0.45}, {M: 2, N: 3, Weight: 0.55}},
+				WorkingSets: []WorkingSet{
+					{Bytes: SocialUsers * 64, Frac: 0.4},
+					{Bytes: edgeBytes, Frac: 0.6}},
+				RegularFrac: 0.25, PointerFrac: 0.3, SharedFrac: 0.06, DepChain: 2}, 0, 0),
+		}}
+	case "cache":
+		return &PhaseBody{Phases: []*Phase{
+			mk(PhaseSpec{Name: "kv", MeanInstrs: 800, JitterPct: 0.2, FootprintBytes: 16 << 10,
+				Weights:     ClassWeights{Load: 0.3, Store: 0.08, ALU: 0.48, SIMD: 0.04, CRC: 0.04, Lock: 0.01, Rep: 0.05},
+				BranchFrac:  0.12,
+				Branches:    []BranchMN{{M: 1, N: 1, Weight: 0.4}, {M: 1, N: 4, Weight: 0.3}, {M: 3, N: 4, Weight: 0.3}},
+				WorkingSets: []WorkingSet{{Bytes: 64 << 10, Frac: 0.4}, {Bytes: 48 << 20, Frac: 0.6}},
+				RegularFrac: 0.3, PointerFrac: 0.15, DepChain: 2, RepBytes: 2048}, 0, 0),
+		}}
+	case "store":
+		return &PhaseBody{Phases: []*Phase{
+			mk(PhaseSpec{Name: "query", MeanInstrs: 1300, JitterPct: 0.25, FootprintBytes: 36 << 10,
+				Weights:    ClassWeights{Load: 0.3, Store: 0.08, ALU: 0.5, Mul: 0.02, SIMD: 0.05, Lock: 0.02, Rep: 0.03},
+				BranchFrac: 0.15,
+				Branches:   []BranchMN{{M: 1, N: 1, Weight: 0.4}, {M: 2, N: 3, Weight: 0.4}, {M: 4, N: 6, Weight: 0.2}},
+				WorkingSets: []WorkingSet{{Bytes: 128 << 10, Frac: 0.45},
+					{Bytes: 16 << 20, Frac: 0.35}, {Bytes: 128 << 20, Frac: 0.2}},
+				RegularFrac: 0.2, PointerFrac: 0.25, SharedFrac: 0.05, DepChain: 2, RepBytes: 4096}, 0, 0),
+		}}
+	default: // logic
+		return &PhaseBody{Phases: []*Phase{
+			mk(PhaseSpec{Name: "logic", MeanInstrs: 700, JitterPct: 0.2, FootprintBytes: 24 << 10,
+				Weights:     ClassWeights{Load: 0.24, Store: 0.08, ALU: 0.55, Mul: 0.02, FP: 0.02, SIMD: 0.05, CRC: 0.04},
+				BranchFrac:  0.15,
+				Branches:    []BranchMN{{M: 1, N: 2, Weight: 0.5}, {M: 2, N: 4, Weight: 0.3}, {M: 4, N: 5, Weight: 0.2}},
+				WorkingSets: []WorkingSet{{Bytes: 32 << 10, Frac: 0.6}, {Bytes: 2 << 20, Frac: 0.4}},
+				RegularFrac: 0.35, DepChain: 2}, 0, 0),
+		}}
+	}
+}

@@ -1,0 +1,183 @@
+package app
+
+import (
+	"ditto/internal/dtrace"
+	"ditto/internal/kernel"
+	"ditto/internal/platform"
+	"ditto/internal/stats"
+)
+
+// RPCCtx is the per-request context propagated between microservice tiers:
+// the root client request (for end-to-end latency), the request kind, and
+// the distributed-tracing context.
+type RPCCtx struct {
+	Req    *Request
+	Kind   int
+	Trace  dtrace.TraceID
+	Parent dtrace.SpanID
+}
+
+// Call is one potential downstream RPC edge.
+type Call struct {
+	Target    string
+	Prob      float64
+	ReqBytes  int
+	RespBytes int
+}
+
+// Registry resolves tier names to network addresses — the service
+// discovery a microservice deployment relies on.
+type Registry interface {
+	Lookup(name string) (k *kernel.Kernel, port int)
+}
+
+// TierConfig shapes one microservice tier.
+type TierConfig struct {
+	Name      string
+	Port      int
+	Model     string // "epoll" (single event loop) or "pool" (thread per conn)
+	RespBytes int
+	Calls     map[int][]Call // downstream edges per request kind
+	Seed      int64
+}
+
+// Tier is a generic RPC microservice: a network/thread skeleton, a request
+// body, optional extra syscall work, and downstream calls. Both the
+// original Social Network tiers and Ditto-generated synthetic tiers are
+// Tier instances — with different bodies and configs.
+type Tier struct {
+	Base
+	Cfg       TierConfig
+	Body      Body
+	Registry  Registry
+	Collector *dtrace.Collector
+	// PostWork, when set, performs tier-specific syscalls per request
+	// (e.g. a storage tier's pread) after the body runs.
+	PostWork func(th *kernel.Thread, kind int)
+
+	rng   *stats.Rand
+	conns map[*kernel.Thread]map[string]*kernel.Endpoint
+}
+
+// NewTier builds a tier on m.
+func NewTier(m *platform.Machine, cfg TierConfig, body Body) *Tier {
+	if cfg.Model == "" {
+		cfg.Model = "epoll"
+	}
+	if cfg.RespBytes <= 0 {
+		cfg.RespBytes = 512
+	}
+	return &Tier{
+		Base: newBase(cfg.Name, m, cfg.Port, cfg.Seed),
+		Cfg:  cfg, Body: body,
+		rng:   stats.NewRand(cfg.Seed ^ 0x7349),
+		conns: map[*kernel.Thread]map[string]*kernel.Endpoint{},
+	}
+}
+
+// Start launches the tier's skeleton.
+func (t *Tier) Start() {
+	switch t.Cfg.Model {
+	case "pool":
+		t.P.Spawn("acceptor", func(th *kernel.Thread) {
+			l := th.Listen(t.Cfg.Port)
+			ConnPerThreadLoop(th, l, t.handle)
+		})
+	default:
+		t.P.Spawn("eventloop", func(th *kernel.Thread) {
+			l := th.Listen(t.Cfg.Port)
+			EventLoop(th, l, t.handle)
+		})
+	}
+}
+
+// ctxOf extracts or creates the RPC context for an incoming message.
+func (t *Tier) ctxOf(msg kernel.Msg) *RPCCtx {
+	switch p := msg.Payload.(type) {
+	case *RPCCtx:
+		return p
+	case *Request:
+		ctx := &RPCCtx{Req: p, Kind: p.Kind}
+		if t.Collector != nil {
+			ctx.Trace = t.Collector.StartTrace()
+		}
+		return ctx
+	default:
+		return &RPCCtx{}
+	}
+}
+
+// handle serves one RPC: trace span, body work, optional syscall work,
+// downstream calls, response.
+func (t *Tier) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.Msg) {
+	ctx := t.ctxOf(msg)
+	var span dtrace.Span
+	if t.Collector != nil && ctx.Trace != 0 {
+		span = dtrace.Span{Trace: ctx.Trace, ID: t.Collector.NextSpanID(),
+			Parent: ctx.Parent, Service: t.Cfg.Name,
+			Operation: kindName(ctx.Kind), Start: th.Now(),
+			ReqBytes: msg.Bytes, RespBytes: t.Cfg.RespBytes}
+	}
+	if t.Body != nil {
+		th.Run(t.Body.EmitRequest(ctx.Kind, nil))
+	}
+	if t.PostWork != nil {
+		t.PostWork(th, ctx.Kind)
+	}
+	for _, call := range t.Cfg.Calls[ctx.Kind] {
+		if call.Prob < 1 && t.rng.Float64() >= call.Prob {
+			continue
+		}
+		down := t.connTo(th, call.Target)
+		child := &RPCCtx{Req: ctx.Req, Kind: ctx.Kind, Trace: ctx.Trace, Parent: span.ID}
+		reqB := call.ReqBytes
+		if reqB <= 0 {
+			reqB = 256
+		}
+		th.Send(down, reqB, child)
+		th.Recv(down)
+	}
+	if span.ID != 0 {
+		span.End = th.Now()
+		t.Collector.Record(span)
+	}
+	echo(th, conn, msg, t.Cfg.RespBytes)
+}
+
+// connTo returns this thread's persistent connection to a downstream tier,
+// dialing on first use.
+func (t *Tier) connTo(th *kernel.Thread, target string) *kernel.Endpoint {
+	per := t.conns[th]
+	if per == nil {
+		per = map[string]*kernel.Endpoint{}
+		t.conns[th] = per
+	}
+	if c := per[target]; c != nil {
+		return c
+	}
+	k, port := t.Registry.Lookup(target)
+	c := th.Connect(k, port)
+	per[target] = c
+	return c
+}
+
+// Request kinds used by the Social Network.
+const (
+	KindComposePost = iota
+	KindReadHomeTimeline
+	KindReadUserTimeline
+	NumKinds
+)
+
+// kindName names a request kind for span operations.
+func kindName(kind int) string {
+	switch kind {
+	case KindComposePost:
+		return "compose-post"
+	case KindReadHomeTimeline:
+		return "read-home-timeline"
+	case KindReadUserTimeline:
+		return "read-user-timeline"
+	}
+	return "op"
+}

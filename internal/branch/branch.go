@@ -1,0 +1,194 @@
+// Package branch models the branch prediction unit. It provides a hybrid
+// bimodal/gshare predictor with a finite table, so the effects the paper
+// singles out in §4.4.3 — taken/not-taken bias, transition rate, and the
+// contribution of instruction locality and static branch count (destructive
+// aliasing in a finite predictor) — all emerge from the model rather than
+// being asserted.
+package branch
+
+// Predictor is a gshare-style global-history predictor with 2-bit
+// saturating counters plus a bimodal fallback chooser. The zero value is
+// not usable; construct with NewPredictor.
+type Predictor struct {
+	gshare  []uint8 // 2-bit counters indexed by pc ⊕ history
+	bimodal []uint8 // 2-bit counters indexed by pc
+	chooser []uint8 // 2-bit meta predictor: ≥2 prefers gshare
+	mask    uint64
+	history uint64
+	histLen uint
+}
+
+// NewPredictor builds a predictor with the given table size (entries per
+// component table, rounded up to a power of two, minimum 64).
+func NewPredictor(entries int) *Predictor {
+	n := 64
+	for n < entries {
+		n *= 2
+	}
+	p := &Predictor{
+		gshare:  make([]uint8, n),
+		bimodal: make([]uint8, n),
+		chooser: make([]uint8, n),
+		mask:    uint64(n - 1),
+		histLen: 12,
+	}
+	for i := range p.chooser {
+		p.chooser[i] = 2 // weakly prefer gshare
+	}
+	// Counters start weakly not-taken (1), matching cold hardware.
+	for i := range p.gshare {
+		p.gshare[i] = 1
+		p.bimodal[i] = 1
+	}
+	return p
+}
+
+func (p *Predictor) gIndex(pc uint64) uint64 {
+	return (pc>>2 ^ p.history) & p.mask
+}
+
+func (p *Predictor) bIndex(pc uint64) uint64 {
+	return (pc >> 2) & p.mask
+}
+
+// Predict returns the predicted direction for the branch at pc without
+// updating any state.
+func (p *Predictor) Predict(pc uint64) bool {
+	if p.chooser[p.bIndex(pc)] >= 2 {
+		return p.gshare[p.gIndex(pc)] >= 2
+	}
+	return p.bimodal[p.bIndex(pc)] >= 2
+}
+
+// Access predicts the branch at pc, updates all tables with the actual
+// outcome, and reports whether the prediction was correct.
+func (p *Predictor) Access(pc uint64, taken bool) bool {
+	gi, bi := p.gIndex(pc), p.bIndex(pc)
+	gPred := p.gshare[gi] >= 2
+	bPred := p.bimodal[bi] >= 2
+	useG := p.chooser[bi] >= 2
+	pred := bPred
+	if useG {
+		pred = gPred
+	}
+	correct := pred == taken
+
+	// Chooser: train toward whichever component was right when they differ.
+	if gPred != bPred {
+		if gPred == taken {
+			p.chooser[bi] = sat(p.chooser[bi], true)
+		} else {
+			p.chooser[bi] = sat(p.chooser[bi], false)
+		}
+	}
+	p.gshare[gi] = sat(p.gshare[gi], taken)
+	p.bimodal[bi] = sat(p.bimodal[bi], taken)
+	p.history = (p.history<<1 | b2u(taken)) & (1<<p.histLen - 1)
+	return correct
+}
+
+// Reset clears learned state (context switch to another process).
+func (p *Predictor) Reset() {
+	for i := range p.gshare {
+		p.gshare[i] = 1
+		p.bimodal[i] = 1
+		p.chooser[i] = 2
+	}
+	p.history = 0
+}
+
+func sat(c uint8, up bool) uint8 {
+	if up {
+		if c < 3 {
+			return c + 1
+		}
+		return 3
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BitmaskBranch reproduces the paper's generated-branch mechanism (§4.4.3,
+// Fig. 3 lines 21–22): a per-branch counter tested against a precomputed
+// bitmask yields a deterministic periodic outcome sequence whose taken rate
+// is 2^-M and whose transition rate (fraction of executions where the
+// direction flips) is 2^-N. The generator hard-codes one mask per synthetic
+// conditional branch.
+//
+// Concretely the sequence has period 2^(N+1) with one aligned taken run of
+// length 2^(N+1-M) per period: two direction flips per period gives a
+// transition rate of exactly 2/2^(N+1) = 2^-N, and the run length sets the
+// taken rate to 2^-M. When M > N+1 the two rates are incompatible (a branch
+// cannot flip more often than it is taken); the run clamps to a single
+// execution, the closest expressible behaviour.
+type BitmaskBranch struct {
+	M, N       uint8  // taken rate 2^-M, transition rate 2^-N
+	periodMask uint64 // period-1 (period = 2^(N+1))
+	runLen     uint64 // taken executions per period
+	counter    uint64
+}
+
+// NewBitmaskBranch builds a branch whose long-run taken rate is 2^-m and
+// whose transition rate is 2^-n. m and n are clamped to [1,10] — the
+// paper's quantization range — except m==0, which yields always-taken.
+func NewBitmaskBranch(m, n int) *BitmaskBranch {
+	clamp := func(v int) uint8 {
+		if v < 1 {
+			return 1
+		}
+		if v > 10 {
+			return 10
+		}
+		return uint8(v)
+	}
+	bb := &BitmaskBranch{N: clamp(n)}
+	if m != 0 {
+		bb.M = clamp(m)
+	}
+	period := uint64(1) << (bb.N + 1)
+	bb.periodMask = period - 1
+	if bb.M == 0 {
+		bb.runLen = period
+	} else if uint64(bb.M) <= uint64(bb.N)+1 {
+		bb.runLen = period >> bb.M
+	} else {
+		bb.runLen = 1
+	}
+	return bb
+}
+
+// SetPhase advances the branch's starting position within its period, so
+// populations of branches are not phase-aligned (short observation windows
+// would otherwise oversample the leading taken run).
+func (b *BitmaskBranch) SetPhase(p uint64) { b.counter = p }
+
+// Next advances the branch's internal counter and returns the next dynamic
+// outcome.
+func (b *BitmaskBranch) Next() bool {
+	c := b.counter & b.periodMask
+	b.counter++
+	return c < b.runLen
+}
+
+// TakenRate reports the asymptotic taken rate of the generated sequence.
+func (b *BitmaskBranch) TakenRate() float64 {
+	return float64(b.runLen) / float64(b.periodMask+1)
+}
+
+// TransitionRate reports the asymptotic transition rate of the generated
+// sequence (2^-N, or 0 for an always-taken branch).
+func (b *BitmaskBranch) TransitionRate() float64 {
+	if b.runLen == b.periodMask+1 {
+		return 0
+	}
+	return 2 / float64(b.periodMask+1)
+}

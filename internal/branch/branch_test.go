@@ -1,0 +1,212 @@
+package branch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPredictorLearnsBias(t *testing.T) {
+	p := NewPredictor(1024)
+	correct := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if p.Access(0x400000, true) { // always-taken branch
+			correct++
+		}
+	}
+	if acc := float64(correct) / n; acc < 0.99 {
+		t.Fatalf("always-taken accuracy = %v, want > 0.99", acc)
+	}
+}
+
+func TestPredictorLearnsPattern(t *testing.T) {
+	p := NewPredictor(4096)
+	// Strict alternation: gshare history should learn it near-perfectly.
+	correct := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.Access(0x400100, i%2 == 0) {
+			correct++
+		}
+	}
+	if acc := float64(correct) / n; acc < 0.95 {
+		t.Fatalf("alternating accuracy = %v, want > 0.95", acc)
+	}
+}
+
+func TestPredictorRandomIsHard(t *testing.T) {
+	p := NewPredictor(4096)
+	// A pseudo-random 50/50 branch should be nearly unpredictable.
+	state := uint64(0x12345)
+	correct := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		taken := state>>63 == 1
+		if p.Access(0x400200, taken) {
+			correct++
+		}
+	}
+	acc := float64(correct) / n
+	if acc > 0.65 {
+		t.Fatalf("random-branch accuracy = %v, want near 0.5", acc)
+	}
+}
+
+// Destructive aliasing: many static branches with conflicting biases in a
+// small table predict worse than a single branch — the static-footprint
+// effect the paper highlights.
+func TestPredictorAliasingDegrades(t *testing.T) {
+	small := NewPredictor(64)
+	big := NewPredictor(65536)
+	run := func(p *Predictor) float64 {
+		correct, total := 0, 0
+		for round := 0; round < 200; round++ {
+			for b := 0; b < 512; b++ {
+				pc := uint64(0x400000 + b*4)
+				// Bias keyed on high PC bits so branches that alias to the
+				// same small-table entry (same low bits) conflict.
+				taken := (b>>6)&1 == 0
+				if p.Access(pc, taken) {
+					correct++
+				}
+				total++
+			}
+		}
+		return float64(correct) / float64(total)
+	}
+	accSmall, accBig := run(small), run(big)
+	if accSmall >= accBig {
+		t.Fatalf("aliasing should hurt: small=%v big=%v", accSmall, accBig)
+	}
+}
+
+func TestPredictorReset(t *testing.T) {
+	p := NewPredictor(256)
+	for i := 0; i < 1000; i++ {
+		p.Access(0x1000, true)
+	}
+	if !p.Predict(0x1000) {
+		t.Fatal("should predict taken after training")
+	}
+	p.Reset()
+	if p.Predict(0x1000) {
+		t.Fatal("reset should restore weakly-not-taken")
+	}
+}
+
+func TestNewPredictorRoundsUp(t *testing.T) {
+	p := NewPredictor(1000)
+	if len(p.gshare) != 1024 {
+		t.Fatalf("table size = %d, want 1024", len(p.gshare))
+	}
+	tiny := NewPredictor(0)
+	if len(tiny.gshare) != 64 {
+		t.Fatalf("minimum table = %d, want 64", len(tiny.gshare))
+	}
+}
+
+// measureRates samples n outcomes and reports the taken rate and the
+// transition rate, counting transitions cyclically (last back to first) so
+// that whole-period samples measure the asymptotic rates exactly.
+func measureRates(b *BitmaskBranch, n int) (taken, trans float64) {
+	var takenN, transN int
+	first := b.Next()
+	prev := first
+	if prev {
+		takenN++
+	}
+	for i := 1; i < n; i++ {
+		o := b.Next()
+		if o {
+			takenN++
+		}
+		if o != prev {
+			transN++
+		}
+		prev = o
+	}
+	if prev != first {
+		transN++
+	}
+	return float64(takenN) / float64(n), float64(transN) / float64(n)
+}
+
+func TestBitmaskBranchRates(t *testing.T) {
+	cases := []struct{ m, n int }{
+		{1, 1}, {1, 4}, {2, 3}, {3, 5}, {4, 8}, {1, 10},
+	}
+	for _, c := range cases {
+		b := NewBitmaskBranch(c.m, c.n)
+		n := 1 << 18
+		taken, trans := measureRates(b, n)
+		wantTaken := math.Pow(2, -float64(c.m))
+		wantTrans := math.Pow(2, -float64(c.n))
+		if math.Abs(taken-wantTaken) > wantTaken*0.05 {
+			t.Errorf("M=%d N=%d: taken = %v, want %v", c.m, c.n, taken, wantTaken)
+		}
+		if math.Abs(trans-wantTrans) > wantTrans*0.05 {
+			t.Errorf("M=%d N=%d: transition = %v, want %v", c.m, c.n, trans, wantTrans)
+		}
+		if math.Abs(b.TakenRate()-wantTaken) > 1e-12 {
+			t.Errorf("M=%d N=%d: TakenRate() = %v", c.m, c.n, b.TakenRate())
+		}
+		if math.Abs(b.TransitionRate()-wantTrans) > 1e-12 {
+			t.Errorf("M=%d N=%d: TransitionRate() = %v", c.m, c.n, b.TransitionRate())
+		}
+	}
+}
+
+func TestBitmaskBranchAlwaysTaken(t *testing.T) {
+	b := NewBitmaskBranch(0, 3)
+	for i := 0; i < 100; i++ {
+		if !b.Next() {
+			t.Fatal("M=0 must be always taken")
+		}
+	}
+	if b.TransitionRate() != 0 {
+		t.Fatal("always-taken transition rate should be 0")
+	}
+}
+
+func TestBitmaskBranchIncompatibleClamps(t *testing.T) {
+	// M=8, N=1: cannot take 1/256 while flipping every other execution;
+	// run clamps to 1 per period of 4.
+	b := NewBitmaskBranch(8, 1)
+	taken, _ := measureRates(b, 1<<12)
+	if math.Abs(taken-0.25) > 0.01 {
+		t.Fatalf("clamped taken rate = %v, want 0.25", taken)
+	}
+}
+
+// Property: measured rates over whole periods match the advertised rates
+// exactly for compatible (M ≤ N+1) parameters.
+func TestBitmaskBranchProperty(t *testing.T) {
+	f := func(mRaw, nRaw uint8) bool {
+		m := 1 + int(mRaw%10)
+		n := 1 + int(nRaw%10)
+		if m > n+1 {
+			m = n + 1
+		}
+		b := NewBitmaskBranch(m, n)
+		period := 1 << (n + 1)
+		taken, trans := measureRates(b, period*8)
+		return math.Abs(taken-b.TakenRate()) < 1e-9 &&
+			math.Abs(trans-b.TransitionRate()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitmaskBranchClampRange(t *testing.T) {
+	b := NewBitmaskBranch(99, 99)
+	if b.M != 10 || b.N != 10 {
+		t.Fatalf("clamp failed: M=%d N=%d", b.M, b.N)
+	}
+	b2 := NewBitmaskBranch(1, 0)
+	if b2.N != 1 {
+		t.Fatalf("N clamp failed: %d", b2.N)
+	}
+}

@@ -1,0 +1,266 @@
+// Package cache implements the set-associative cache models used across the
+// simulator: single caches with LRU or tree-PLRU replacement, a next-line
+// prefetcher, multi-level hierarchies with per-level latencies, and the
+// power-of-two working-set simulator that plays the role of Valgrind in the
+// Ditto pipeline (Eq. 1 and Eq. 2 of the paper).
+package cache
+
+import "fmt"
+
+// LineBytes is the cache line size, fixed at 64 bytes as in the paper.
+const LineBytes = 64
+
+// Policy selects a replacement policy.
+type Policy uint8
+
+// Replacement policies. The paper's working-set argument (§4.4.4) holds for
+// LRU and its pseudo-LRU variants; both are provided so the property can be
+// tested against each.
+const (
+	LRU Policy = iota
+	PLRU
+)
+
+// Config describes one cache.
+type Config struct {
+	Name     string
+	Size     int    // capacity in bytes
+	Assoc    int    // ways per set
+	Latency  int    // hit latency in cycles
+	Policy   Policy // replacement policy
+	Prefetch bool   // next-line prefetch on sequential access pattern
+}
+
+// Cache is a single-level set-associative cache. The zero value is not
+// usable; construct with New. Cache is not safe for concurrent use — the
+// simulation is single-threaded by design.
+type Cache struct {
+	cfg      Config
+	sets     int
+	setMask  uint64 // sets-1 when sets is a power of two, else 0
+	pow2     bool
+	tags     []uint64 // sets × assoc, 0 = invalid
+	stamp    []uint64 // LRU timestamps (LRU policy)
+	plruBits []uint64 // per-set PLRU tree bits (PLRU policy)
+	clock    uint64
+}
+
+// New builds a cache from cfg. Size must be a positive multiple of
+// Assoc×LineBytes; non-power-of-two set counts (real LLCs like Table 1's
+// 30.25MB) index by modulo. Assoc must be a power of two for PLRU.
+func New(cfg Config) *Cache {
+	if cfg.Assoc <= 0 || cfg.Size <= 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry size=%d assoc=%d", cfg.Name, cfg.Size, cfg.Assoc))
+	}
+	sets := cfg.Size / (cfg.Assoc * LineBytes)
+	if sets == 0 {
+		sets = 1
+	}
+	if cfg.Policy == PLRU && cfg.Assoc&(cfg.Assoc-1) != 0 {
+		panic(fmt.Sprintf("cache %s: PLRU needs power-of-two associativity, got %d", cfg.Name, cfg.Assoc))
+	}
+	c := &Cache{
+		cfg:  cfg,
+		sets: sets,
+		pow2: sets&(sets-1) == 0,
+		tags: make([]uint64, sets*cfg.Assoc),
+	}
+	if c.pow2 {
+		c.setMask = uint64(sets - 1)
+	}
+	if cfg.Policy == PLRU {
+		c.plruBits = make([]uint64, sets)
+	} else {
+		c.stamp = make([]uint64, sets*cfg.Assoc)
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets reports the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// lineTag encodes a line address as a nonzero tag (0 marks invalid ways).
+func lineTag(line uint64) uint64 { return line + 1 }
+
+// Access looks up the line containing byte address addr, filling it on a
+// miss, and reports whether it hit. Prefetching is orchestrated by the
+// Hierarchy (Config.Prefetch on the first level enables it there), because
+// a real prefetch fetches through the whole hierarchy rather than
+// materializing lines in one level.
+func (c *Cache) Access(addr uint64) bool {
+	return c.touch(addr / LineBytes)
+}
+
+// AccessLine is Access for a pre-shifted line address (addr/64).
+func (c *Cache) AccessLine(line uint64) bool { return c.touch(line) }
+
+// touch performs lookup+fill+replacement bookkeeping for one line.
+func (c *Cache) touch(line uint64) bool {
+	set := c.setIndex(line)
+	base := set * c.cfg.Assoc
+	tag := lineTag(line)
+	c.clock++
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.tags[base+w] == tag {
+			c.promote(set, w)
+			return true
+		}
+	}
+	c.fill(set, tag)
+	return false
+}
+
+// Install fills a line without reporting hit/miss (the prefetch path). If
+// the line is already resident it is promoted.
+func (c *Cache) Install(addr uint64) { c.install(addr / LineBytes) }
+
+// install fills a line without reporting hit/miss (prefetch path). If the
+// line is already resident it is promoted.
+func (c *Cache) install(line uint64) {
+	set := c.setIndex(line)
+	base := set * c.cfg.Assoc
+	tag := lineTag(line)
+	c.clock++
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.tags[base+w] == tag {
+			c.promote(set, w)
+			return
+		}
+	}
+	c.fill(set, tag)
+}
+
+// promote marks way w of set as most recently used.
+func (c *Cache) promote(set, w int) {
+	if c.cfg.Policy == PLRU {
+		c.plruTouch(set, w)
+		return
+	}
+	c.stamp[set*c.cfg.Assoc+w] = c.clock
+}
+
+// fill victimizes a way in set and installs tag there.
+func (c *Cache) fill(set int, tag uint64) {
+	base := set * c.cfg.Assoc
+	// Prefer an invalid way.
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.tags[base+w] == 0 {
+			c.tags[base+w] = tag
+			c.promote(set, w)
+			return
+		}
+	}
+	var victim int
+	if c.cfg.Policy == PLRU {
+		victim = c.plruVictim(set)
+	} else {
+		oldest := c.stamp[base]
+		for w := 1; w < c.cfg.Assoc; w++ {
+			if c.stamp[base+w] < oldest {
+				oldest = c.stamp[base+w]
+				victim = w
+			}
+		}
+	}
+	c.tags[base+victim] = tag
+	c.promote(set, victim)
+}
+
+// plruTouch updates the PLRU tree so that way w is protected.
+func (c *Cache) plruTouch(set, w int) {
+	bits := c.plruBits[set]
+	node := 1
+	levels := log2(c.cfg.Assoc)
+	for l := levels - 1; l >= 0; l-- {
+		bit := (w >> l) & 1
+		// Point the node away from the touched way.
+		if bit == 1 {
+			bits &^= 1 << uint(node)
+		} else {
+			bits |= 1 << uint(node)
+		}
+		node = node*2 + bit
+	}
+	c.plruBits[set] = bits
+}
+
+// plruVictim walks the PLRU tree toward the pseudo-least-recently-used way.
+func (c *Cache) plruVictim(set int) int {
+	bits := c.plruBits[set]
+	node := 1
+	w := 0
+	levels := log2(c.cfg.Assoc)
+	for l := 0; l < levels; l++ {
+		dir := int(bits>>uint(node)) & 1
+		w = w*2 + dir
+		node = node*2 + dir
+	}
+	return w
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Contains reports whether the line holding addr is resident, without
+// touching replacement state.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr / LineBytes
+	set := c.setIndex(line)
+	base := set * c.cfg.Assoc
+	tag := lineTag(line)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line holding addr, modeling a coherence
+// invalidation from another core.
+func (c *Cache) Invalidate(addr uint64) {
+	line := addr / LineBytes
+	set := c.setIndex(line)
+	base := set * c.cfg.Assoc
+	tag := lineTag(line)
+	for w := 0; w < c.cfg.Assoc; w++ {
+		if c.tags[base+w] == tag {
+			c.tags[base+w] = 0
+			return
+		}
+	}
+}
+
+// Flush empties the cache (context-switch pollution, machine reset).
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	if c.stamp != nil {
+		for i := range c.stamp {
+			c.stamp[i] = 0
+		}
+	}
+	if c.plruBits != nil {
+		for i := range c.plruBits {
+			c.plruBits[i] = 0
+		}
+	}
+}
+
+// setIndex maps a line address to its set.
+func (c *Cache) setIndex(line uint64) int {
+	if c.pow2 {
+		return int(line & c.setMask)
+	}
+	return int(line % uint64(c.sets))
+}

@@ -1,0 +1,37 @@
+package cache
+
+import "testing"
+
+// BenchmarkAccessHit measures the warm-hit fast path.
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{Name: "b", Size: 32 << 10, Assoc: 8, Policy: LRU})
+	for l := 0; l < 512; l++ {
+		c.Access(uint64(l) * LineBytes)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i%512) * LineBytes)
+	}
+}
+
+// BenchmarkHierarchyMiss measures a full three-level walk to memory.
+func BenchmarkHierarchyMiss(b *testing.B) {
+	l1 := New(Config{Name: "l1", Size: 32 << 10, Assoc: 8, Latency: 4, Policy: LRU})
+	l2 := New(Config{Name: "l2", Size: 1 << 20, Assoc: 16, Latency: 12, Policy: LRU})
+	l3 := New(Config{Name: "l3", Size: 8 << 20, Assoc: 16, Latency: 40, Policy: PLRU})
+	h := &Hierarchy{Caches: [3]*Cache{l1, l2, l3}, MemLatency: 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Access(uint64(i) * 64 * 131) // strided to defeat all levels
+	}
+}
+
+// BenchmarkWorkingSetSim measures the Valgrind-analog profiling cost per
+// access across the full power-of-two sweep.
+func BenchmarkWorkingSetSim(b *testing.B) {
+	w := NewWorkingSetSim(64 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Access(uint64(i*64) % (32 << 20))
+	}
+}

@@ -1,0 +1,168 @@
+package cache
+
+// Level identifies a position in a cache hierarchy.
+type Level uint8
+
+// Hierarchy levels, ordered nearest to farthest.
+const (
+	L1 Level = iota
+	L2
+	L3
+	Mem
+	NumLevels = int(Mem) + 1
+)
+
+var levelNames = [...]string{"L1", "L2", "L3", "Mem"}
+
+// String returns the level name.
+func (l Level) String() string {
+	if int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return "?"
+}
+
+// Result describes one hierarchy access: the total latency in cycles and
+// the deepest level that had to be consulted (L1 means an L1 hit).
+type Result struct {
+	Latency int
+	Served  Level
+}
+
+// Hierarchy is a one-to-three-level cache stack in front of memory. Any
+// level may be nil (skipped). Levels may be shared between hierarchies —
+// e.g. a per-core L1/L2 in front of a socket-wide L3 — because Cache methods
+// are plain lookups on shared state in a single-threaded simulation.
+type Hierarchy struct {
+	Caches     [3]*Cache // L1, L2, L3; nil entries are skipped
+	MemLatency int       // cycles to reach DRAM after the last level misses
+	// MemPenalty is an additive latency applied on top of MemLatency,
+	// used by the platform to model DRAM bandwidth contention.
+	MemPenalty int
+
+	lastLine uint64
+	haveLast bool
+}
+
+// Access walks the hierarchy for byte address addr and returns the latency
+// and serving level. Missing levels are filled on the way back (inclusive
+// behaviour), matching the paper's note that the working-set construction is
+// valid for any inclusion policy. When the first level enables prefetching
+// and the access continues a sequential stream, the next line is fetched
+// through the whole hierarchy: its latency is hidden, but it occupies (and
+// evicts) capacity at every level like a real hardware prefetch.
+func (h *Hierarchy) Access(addr uint64) Result {
+	res := h.walk(addr)
+	if l1 := h.Caches[0]; l1 != nil && l1.Config().Prefetch {
+		line := addr / LineBytes
+		if h.haveLast && line == h.lastLine+1 {
+			for _, c := range h.Caches {
+				if c != nil {
+					c.Install(addr + LineBytes)
+				}
+			}
+		}
+		h.lastLine = line
+		h.haveLast = true
+	}
+	return res
+}
+
+// walk performs the demand lookup.
+func (h *Hierarchy) walk(addr uint64) Result {
+	lat := 0
+	for i, c := range h.Caches {
+		if c == nil {
+			continue
+		}
+		if c.Access(addr) {
+			lat += c.cfg.Latency
+			return Result{Latency: lat, Served: Level(i)}
+		}
+		lat += c.cfg.Latency
+	}
+	return Result{Latency: lat + h.MemLatency + h.MemPenalty, Served: Mem}
+}
+
+// Invalidate removes the line from every level (coherence invalidation).
+func (h *Hierarchy) Invalidate(addr uint64) {
+	for _, c := range h.Caches {
+		if c != nil {
+			c.Invalidate(addr)
+		}
+	}
+}
+
+// FlushPrivate flushes the private (L1, L2) levels — context-switch
+// pollution — leaving the shared L3 intact.
+func (h *Hierarchy) FlushPrivate() {
+	for i, c := range h.Caches {
+		if c != nil && i < 2 {
+			c.Flush()
+		}
+	}
+}
+
+// WorkingSetSim simulates an array of caches of power-of-two sizes over an
+// access trace and counts hits in each, exactly the measurement Ditto makes
+// with Valgrind: H(2^i) in Eq. 1/Eq. 2. Sizes below 1MB use 8-way caches,
+// sizes at or above 1MB use 16-way, matching §4.4.4.
+type WorkingSetSim struct {
+	sizes  []int
+	caches []*Cache
+	hits   []uint64
+	total  uint64
+}
+
+// NewWorkingSetSim builds simulators for sizes 64B, 128B, … up to maxBytes
+// (rounded up to a power of two).
+func NewWorkingSetSim(maxBytes int) *WorkingSetSim {
+	if maxBytes < LineBytes {
+		maxBytes = LineBytes
+	}
+	w := &WorkingSetSim{}
+	for size := LineBytes; ; size *= 2 {
+		assoc := 8
+		if size >= 1<<20 {
+			assoc = 16
+		}
+		if size < assoc*LineBytes {
+			assoc = size / LineBytes
+			if assoc == 0 {
+				assoc = 1
+			}
+		}
+		w.sizes = append(w.sizes, size)
+		w.caches = append(w.caches, New(Config{
+			Name:   "ws",
+			Size:   size,
+			Assoc:  assoc,
+			Policy: LRU,
+		}))
+		w.hits = append(w.hits, 0)
+		if size >= maxBytes {
+			break
+		}
+	}
+	return w
+}
+
+// Access feeds one byte address to every simulated size.
+func (w *WorkingSetSim) Access(addr uint64) {
+	line := addr / LineBytes
+	w.total++
+	for i, c := range w.caches {
+		if c.AccessLine(line) {
+			w.hits[i]++
+		}
+	}
+}
+
+// Sizes returns the simulated cache sizes in bytes, ascending.
+func (w *WorkingSetSim) Sizes() []int { return w.sizes }
+
+// Hits returns hit counts parallel to Sizes.
+func (w *WorkingSetSim) Hits() []uint64 { return w.hits }
+
+// Total returns the number of accesses observed.
+func (w *WorkingSetSim) Total() uint64 { return w.total }

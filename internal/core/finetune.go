@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math"
+
+	"ditto/internal/profile"
+)
+
+// Runner executes a candidate synthetic spec under a reference load on the
+// profiling platform and returns its measured counters — the role played by
+// Perf/VTune in the paper's fine-tuning loop.
+type Runner func(spec *SynthSpec) profile.TargetMetrics
+
+// TuneStep records one fine-tuning iteration for inspection.
+type TuneStep struct {
+	Iter     int
+	Adjust   Adjust
+	Measured profile.TargetMetrics
+	MaxErr   float64
+}
+
+// FineTune runs the feedback calibration loop of §4.5: generate, measure,
+// compare against the original's counters, and adjust the grouped knobs
+// with a linear heuristic, keeping the best candidate. It stops early once
+// every calibrated metric is within tol (the paper reports >95% accuracy
+// within ten iterations).
+func FineTune(prof *profile.AppProfile, seed int64, run Runner, maxIters int, tol float64) (*SynthSpec, []TuneStep) {
+	if maxIters < 1 {
+		maxIters = 1
+	}
+	if tol <= 0 {
+		tol = 0.05
+	}
+	target := prof.Target
+	adj := DefaultAdjust()
+	var best *SynthSpec
+	bestErr := math.Inf(1)
+	var trace []TuneStep
+
+	for it := 0; it < maxIters; it++ {
+		spec := GenerateAdjusted(prof, adj, seed)
+		m := run(spec)
+		maxErr := MaxRelErr(m, target)
+		trace = append(trace, TuneStep{Iter: it, Adjust: adj, Measured: m, MaxErr: maxErr})
+		if maxErr < bestErr {
+			bestErr = maxErr
+			best = spec
+		}
+		if maxErr <= tol {
+			break
+		}
+
+		// Grouped linear feedback. Knots are mostly orthogonal (§4.5):
+		// data-side working sets drive L1d/L2/LLC, instruction-side working
+		// sets drive L1i (and, with branch rates, the misprediction rate),
+		// pointer chasing drives MLP and hence IPC.
+		adj.DWSScale *= clampF(1+0.6*signedRel(target.L1dMiss, m.L1dMiss)+
+			0.3*signedRel(target.L3Miss, m.L3Miss), 0.5, 2)
+		adj.IWSScale *= clampF(1+0.7*signedRel(target.L1iMiss, m.L1iMiss), 0.5, 2)
+		if rel := signedRel(target.BranchMiss, m.BranchMiss); rel > 0.15 && adj.MNShift > -6 {
+			adj.MNShift-- // lower bias ⇒ harder branches ⇒ more misses
+		} else if rel < -0.15 && adj.MNShift < 6 {
+			adj.MNShift++
+		}
+		if rel := signedRel(target.IPC, m.IPC); rel < -0.05 {
+			adj.PtrScale = clampF(adj.PtrScale*1.3, 0.1, 4) // too fast: serialize more
+		} else if rel > 0.05 {
+			adj.PtrScale = clampF(adj.PtrScale*0.75, 0.1, 4)
+		}
+	}
+	return best, trace
+}
+
+// MaxRelErr reports the largest relative error across the calibrated
+// metrics.
+func MaxRelErr(m, t profile.TargetMetrics) float64 {
+	errs := []float64{
+		relErr(m.IPC, t.IPC),
+		relErr(m.L1iMiss, t.L1iMiss),
+		relErr(m.L1dMiss, t.L1dMiss),
+		relErr(m.L2Miss, t.L2Miss),
+		relErr(m.BranchMiss, t.BranchMiss),
+	}
+	worst := 0.0
+	for _, e := range errs {
+		if e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// signedRel is (want-got)/want clamped to [-1, 1]: positive means the
+// synthetic undershoots the target.
+func signedRel(want, got float64) float64 {
+	if want <= 0 {
+		return 0
+	}
+	return clampF((want-got)/want, -1, 1)
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

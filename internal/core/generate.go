@@ -1,0 +1,435 @@
+// Package core implements Ditto's generation stage: it turns an AppProfile
+// produced by the profilers into a synthetic application specification —
+// skeleton, instruction blocks, branch bitmasks, hard-coded memory layout,
+// register assignment from dependency distances, and a syscall replay plan
+// (§4.3–§4.5 of the paper) — plus the feedback fine-tuner that calibrates
+// the generated code against the original's measured counters.
+package core
+
+import (
+	"sort"
+
+	"ditto/internal/isa"
+	"ditto/internal/kernel"
+	"ditto/internal/profile"
+	"ditto/internal/stats"
+)
+
+// SlotAux carries per-static-instruction generation metadata the runtime
+// needs (branch masks, memory slot classification).
+type SlotAux struct {
+	IsBranch bool
+	M, N     int // bitmask branch parameters
+	IsMem    bool
+	Region   int  // data working-set region index
+	Regular  bool // sequential sweep vs scrambled offset
+	IsRep    bool
+}
+
+// Block is one generated instruction block (the paper's BLOCK_I_J): static
+// code sized to one instruction working set, looped LoopsPerRequest times
+// per request, with memory slots statically partitioned over the data
+// working-set regions.
+type Block struct {
+	InstWS          int     // static code bytes (2^j)
+	LoopsPerRequest float64 // executions of the whole block per request
+	Instrs          []isa.Instr
+	Aux             []SlotAux
+}
+
+// Region is one data working set in the synthetic data array, occupying
+// [Start, Start+Span) per the paper's Fig. 4 layout.
+type Region struct {
+	WSBytes int
+	Start   uint64
+	Span    uint64
+}
+
+// SyscallPlan replays one profiled syscall type at its per-request rate.
+type SyscallPlan struct {
+	Op             kernel.SyscallOp
+	PerRequest     float64
+	Bytes          int
+	FileSize       int64
+	UniformOffsets bool
+}
+
+// BodySpec is the synthesized request body.
+type BodySpec struct {
+	Blocks     []Block
+	Regions    []Region
+	ArrayBytes uint64 // allocated data array size
+}
+
+// SynthSpec is a complete generated application: what dittogen emits and
+// what the synth runtime executes. It contains no information about the
+// original beyond the profile's statistics — the abstraction property of
+// §4.1.
+type SynthSpec struct {
+	Name      string
+	Skeleton  profile.SkeletonProfile
+	ReqBytes  int
+	RespBytes int
+	Syscalls  []SyscallPlan
+	Body      BodySpec
+
+	// Tuning knobs (§4.5), applied at generation time. Zero value = 1.0
+	// scales via the Adjust default; stored for reproducibility.
+	Applied Adjust
+}
+
+// Adjust is the fine-tuner's knob vector.
+type Adjust struct {
+	IWSScale   float64 // scales instruction working-set sizes
+	DWSScale   float64 // scales data working-set sizes
+	PtrScale   float64 // scales pointer-chase fraction (MLP)
+	MNShift    int     // shifts branch M (bias) bins: +1 = more biased
+	InstrScale float64 // scales the per-request instruction budget
+}
+
+// DefaultAdjust returns the neutral knob vector.
+func DefaultAdjust() Adjust {
+	return Adjust{IWSScale: 1, DWSScale: 1, PtrScale: 1, InstrScale: 1}
+}
+
+// Generate builds a synthetic spec from a profile with neutral knobs.
+func Generate(prof *profile.AppProfile, seed int64) *SynthSpec {
+	return GenerateAdjusted(prof, DefaultAdjust(), seed)
+}
+
+// GenerateAdjusted builds a synthetic spec with the given knob vector.
+func GenerateAdjusted(prof *profile.AppProfile, adj Adjust, seed int64) *SynthSpec {
+	if adj.IWSScale <= 0 {
+		adj = DefaultAdjust()
+	}
+	rng := stats.NewRand(seed ^ 0x0D1770)
+	spec := &SynthSpec{
+		Name:      prof.Name + "-synth",
+		Skeleton:  prof.Skeleton,
+		ReqBytes:  int(prof.ReqBytesMean),
+		RespBytes: int(prof.RespBytesMean),
+		Applied:   adj,
+	}
+	spec.Syscalls = planSyscalls(prof)
+	spec.Body = generateBody(&prof.Body, adj, rng)
+	return spec
+}
+
+// planSyscalls extracts the replayable (non-network, non-scheduler)
+// syscalls: the skeleton performs socket and thread operations itself.
+func planSyscalls(prof *profile.AppProfile) []SyscallPlan {
+	replayable := map[kernel.SyscallOp]bool{
+		kernel.SysOpen: true, kernel.SysClose: true, kernel.SysPread: true,
+		kernel.SysWrite: true, kernel.SysMmap: true, kernel.SysNanosleep: false,
+	}
+	var out []SyscallPlan
+	for _, st := range prof.Syscalls {
+		if !replayable[st.Op] {
+			continue
+		}
+		out = append(out, SyscallPlan{
+			Op: st.Op, PerRequest: st.PerRequest, Bytes: int(st.MeanBytes),
+			FileSize: st.FileSize, UniformOffsets: st.UniformOffsets,
+		})
+	}
+	// Keep a canonical open → read/write → close order.
+	order := map[kernel.SyscallOp]int{kernel.SysOpen: 0, kernel.SysMmap: 1,
+		kernel.SysPread: 2, kernel.SysWrite: 3, kernel.SysClose: 4}
+	sort.SliceStable(out, func(i, j int) bool { return order[out[i].Op] < order[out[j].Op] })
+	return out
+}
+
+// generateBody synthesizes the instruction blocks.
+func generateBody(b *profile.BodyProfile, adj Adjust, rng *stats.Rand) BodySpec {
+	var spec BodySpec
+
+	// Data regions per Fig. 4: region for WS 2^i spans [2^(i-1), 2^i).
+	dws := scaleBins(b.DWS, adj.DWSScale)
+	var totalAcc float64
+	var maxWS uint64
+	for _, bin := range dws {
+		totalAcc += bin.Count
+		if uint64(bin.Bytes) > maxWS {
+			maxWS = uint64(bin.Bytes)
+		}
+	}
+	regionWeights := make([]float64, len(dws))
+	for i, bin := range dws {
+		start := uint64(bin.Bytes) / 2
+		span := uint64(bin.Bytes) - start
+		if bin.Bytes <= 64 {
+			start, span = 0, 64
+		}
+		spec.Regions = append(spec.Regions, Region{WSBytes: bin.Bytes, Start: start, Span: span})
+		if totalAcc > 0 {
+			regionWeights[i] = bin.Count / totalAcc
+		}
+	}
+	if maxWS < 4096 {
+		maxWS = 4096
+	}
+	spec.ArrayBytes = maxWS
+	regionPick := stats.NewCategorical(regionWeights)
+
+	// Instruction budget and block execution counts per Eq. 2.
+	iws := scaleBins(b.IWS, adj.IWSScale)
+	budget := b.InstrsPerRequest * adj.InstrScale
+	if budget <= 0 {
+		return spec // empty body (skeleton-only stage)
+	}
+	var iwsTotal float64
+	for _, bin := range iws {
+		iwsTotal += bin.Count
+	}
+	if iwsTotal <= 0 {
+		iws = []profile.WSBin{{Bytes: 4096, Count: budget}}
+		iwsTotal = budget
+	}
+
+	// Slot-composition distributions.
+	memShare := b.MemShare
+	branchShare := b.BranchShare
+	ptrFrac := clamp01(b.PointerFrac * adj.PtrScale)
+	storeFrac := clamp01(b.StoreFrac)
+	repFrac := clamp01(b.RepFrac)
+	mixPick, mixOps := mixSampler(b.Mix)
+	brPick, brBins := branchSampler(b.Branches, adj.MNShift)
+
+	ra := newRegAssigner(b)
+
+	pcBase := uint64(0x5000_0000)
+	for _, bin := range iws {
+		slots := bin.Bytes / isa.InstrBytes
+		if slots < 16 {
+			slots = 16
+		}
+		// Cap giant blocks: static code above 256KB is represented by a
+		// quarter-size block looped 4× as often (bounded generation size,
+		// preserved execution counts; the fine-tuner compensates for the
+		// footprint difference).
+		loopScale := 1.0
+		for slots > 64<<10 {
+			slots /= 2
+			loopScale *= 2
+		}
+		blk := Block{
+			InstWS:          bin.Bytes,
+			LoopsPerRequest: bin.Count / iwsTotal * budget / float64(slots) * loopScale,
+		}
+		blk.Instrs = make([]isa.Instr, slots)
+		blk.Aux = make([]SlotAux, slots)
+		for s := 0; s < slots; s++ {
+			pc := pcBase + uint64(s)*isa.InstrBytes
+			in, aux := synthSlot(rng, pc, memShare, branchShare, ptrFrac,
+				storeFrac, repFrac, b.SharedFrac, b.RegularFrac, b.RepBytesMean,
+				mixPick, mixOps, brPick, brBins, regionPick, ra)
+			blk.Instrs[s] = in
+			blk.Aux[s] = aux
+		}
+		spec.Blocks = append(spec.Blocks, blk)
+		pcBase += uint64(bin.Bytes) + 1<<20
+	}
+	return spec
+}
+
+// synthSlot generates one static instruction.
+func synthSlot(rng *stats.Rand, pc uint64, memShare, branchShare, ptrFrac,
+	storeFrac, repFrac, sharedFrac, regularFrac, repBytes float64,
+	mixPick *stats.Categorical, mixOps []isa.Op,
+	brPick *stats.Categorical, brBins []profile.BranchBin,
+	regionPick *stats.Categorical, ra *regAssigner) (isa.Instr, SlotAux) {
+
+	in := isa.Instr{PC: pc, BranchID: -1,
+		Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}
+	var aux SlotAux
+
+	r := rng.Float64()
+	switch {
+	case r < branchShare:
+		bin := brBins[brPick.Sample(rng)]
+		in.Op = isa.JCC
+		in.BranchID = int32(pc >> 2)
+		aux = SlotAux{IsBranch: true, M: bin.M, N: bin.N}
+		return in, aux
+	case r < branchShare+memShare:
+		aux.IsMem = true
+		aux.Region = regionPick.Sample(rng)
+		aux.Regular = rng.Float64() < regularFrac
+		switch sub := rng.Float64(); {
+		case sub < repFrac:
+			in.Op = isa.REPMOVSB
+			n := int32(repBytes)
+			if n < 64 {
+				n = 64
+			}
+			in.RepCount = n
+			aux.IsRep = true
+			aux.Regular = true
+		case sub < repFrac+storeFrac:
+			in.Op = isa.MOVstore
+		case rng.Float64() < ptrFrac:
+			in.Op = isa.MOVptr
+			in.Dst, in.Src1 = isa.R11, isa.R11
+		default:
+			in.Op = isa.MOVload
+			in.Src1 = isa.R10
+			in.Dst = ra.dst(rng)
+		}
+		in.Shared = rng.Float64() < sharedFrac
+		return in, aux
+	default:
+		// The mix bucket covers non-memory, non-branch work; the sampler
+		// was built over computational iforms only.
+		in.Op = mixOps[mixPick.Sample(rng)]
+		ra.assign(&in, rng)
+		return in, aux
+	}
+}
+
+// regAssigner implements §4.4.6: sample a (RAW, WAW) distance tuple from
+// the profiled distributions and pick the available register whose
+// last-write distance is closest.
+type regAssigner struct {
+	rawPick *stats.Categorical
+	wawPick *stats.Categorical
+	idx     int
+	lastW   [isa.NumRegs]int
+}
+
+func newRegAssigner(b *profile.BodyProfile) *regAssigner {
+	return &regAssigner{
+		rawPick: stats.NewCategorical(b.RAW.Bins[:]),
+		wawPick: stats.NewCategorical(b.WAW.Bins[:]),
+	}
+}
+
+// gprs available for dependency cloning: r0-r7 (r8-r11 reserved per Fig. 3,
+// r12-r15 kept for the runtime).
+var synthGPRs = []isa.Reg{isa.R0, isa.R1, isa.R2, isa.R3, isa.R4, isa.R5, isa.R6, isa.R7}
+
+// closestReg picks the register whose last write is nearest distance d ago.
+func (ra *regAssigner) closestReg(d int) isa.Reg {
+	best := synthGPRs[0]
+	bestErr := 1 << 30
+	for _, r := range synthGPRs {
+		e := ra.idx - ra.lastW[r] - d
+		if e < 0 {
+			e = -e
+		}
+		if e < bestErr {
+			bestErr = e
+			best = r
+		}
+	}
+	return best
+}
+
+// dst picks a destination register by sampled WAW distance and records the
+// write.
+func (ra *regAssigner) dst(rng *stats.Rand) isa.Reg {
+	ra.idx++
+	d := profile.DepBinDistance(ra.wawPick.Sample(rng))
+	r := ra.closestReg(d)
+	ra.lastW[r] = ra.idx
+	return r
+}
+
+// assign fills source and destination registers for an ALU-style op.
+func (ra *regAssigner) assign(in *isa.Instr, rng *stats.Rand) {
+	ra.idx++
+	dRaw := profile.DepBinDistance(ra.rawPick.Sample(rng))
+	src := ra.closestReg(dRaw)
+	in.Src1 = src
+	in.Src2 = synthGPRs[rng.Intn(len(synthGPRs))]
+	dWaw := profile.DepBinDistance(ra.wawPick.Sample(rng))
+	dst := ra.closestReg(dWaw)
+	in.Dst = dst
+	ra.lastW[dst] = ra.idx
+	if isa.Table[in.Op].Operands == isa.OpXMM {
+		in.Dst = isa.X0 + isa.Reg(in.Dst%12)
+		in.Src1 = isa.X0 + isa.Reg(in.Src1%12)
+		in.Src2 = isa.X0 + isa.Reg(in.Src2%12)
+	}
+}
+
+// mixSampler converts mix entries to a categorical sampler over
+// computational iforms only: memory, branch and REP shares are realized by
+// the dedicated slot kinds, so their clusters are excluded here and the
+// remaining shares renormalize.
+func mixSampler(mix []profile.MixEntry) (*stats.Categorical, []isa.Op) {
+	var w []float64
+	var ops []isa.Op
+	for _, m := range mix {
+		f := &isa.Table[m.Op]
+		if f.Branch || f.Load || f.Store || f.Rep {
+			continue
+		}
+		w = append(w, m.Share)
+		ops = append(ops, m.Op)
+	}
+	if len(ops) == 0 {
+		return stats.NewCategorical([]float64{1}), []isa.Op{isa.ADDrr}
+	}
+	return stats.NewCategorical(w), ops
+}
+
+// branchSampler converts branch bins, applying the MN shift knob.
+func branchSampler(bins []profile.BranchBin, shift int) (*stats.Categorical, []profile.BranchBin) {
+	if len(bins) == 0 {
+		bins = []profile.BranchBin{{M: 2, N: 3, Weight: 1}}
+	}
+	out := make([]profile.BranchBin, len(bins))
+	w := make([]float64, len(bins))
+	for i, b := range bins {
+		m := b.M + shift
+		if m < 1 {
+			m = 1
+		}
+		if m > 10 {
+			m = 10
+		}
+		out[i] = profile.BranchBin{M: m, N: b.N, Weight: b.Weight}
+		w[i] = b.Weight
+	}
+	return stats.NewCategorical(w), out
+}
+
+// scaleBins scales working-set byte sizes, snapping to powers of two and
+// merging collisions.
+func scaleBins(bins []profile.WSBin, scale float64) []profile.WSBin {
+	if scale == 1 || len(bins) == 0 {
+		return bins
+	}
+	merged := map[int]float64{}
+	for _, b := range bins {
+		sz := nextPow2(int(float64(b.Bytes) * scale))
+		if sz < 64 {
+			sz = 64
+		}
+		merged[sz] += b.Count
+	}
+	out := make([]profile.WSBin, 0, len(merged))
+	for sz, c := range merged {
+		out = append(out, profile.WSBin{Bytes: sz, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bytes < out[j].Bytes })
+	return out
+}
+
+func nextPow2(v int) int {
+	p := 64
+	for p < v {
+		p *= 2
+	}
+	return p
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

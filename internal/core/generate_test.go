@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ditto/internal/isa"
+	"ditto/internal/kernel"
+	"ditto/internal/profile"
+)
+
+// sampleProfile builds a plausible hand-written profile.
+func sampleProfile() *profile.AppProfile {
+	p := &profile.AppProfile{
+		Name:          "toy",
+		Requests:      1000,
+		ReqBytesMean:  64,
+		RespBytesMean: 1024,
+		Skeleton:      profile.SkeletonProfile{NetworkModel: "iomux", Workers: 1},
+		Syscalls: []profile.SyscallStat{
+			{Op: kernel.SysRecv, PerRequest: 1, MeanBytes: 64},
+			{Op: kernel.SysSend, PerRequest: 1, MeanBytes: 1024},
+			{Op: kernel.SysPread, PerRequest: 0.5, MeanBytes: 16384,
+				File: "file:/d", FileSize: 1 << 30, UniformOffsets: true},
+			{Op: kernel.SysOpen, PerRequest: 0.5, MeanBytes: 0, File: "file:/d", FileSize: 1 << 30},
+			{Op: kernel.SysClose, PerRequest: 0.5},
+			{Op: kernel.SysEpollWait, PerRequest: 1},
+		},
+	}
+	b := &p.Body
+	b.InstrsPerRequest = 4000
+	b.Mix = []profile.MixEntry{
+		{Op: isa.ADDrr, Share: 0.45}, {Op: isa.MOVload, Share: 0.25},
+		{Op: isa.MOVstore, Share: 0.1}, {Op: isa.JCC, Share: 0.12},
+		{Op: isa.IMULrr, Share: 0.04}, {Op: isa.CRC32rr, Share: 0.04},
+	}
+	b.BranchShare = 0.12
+	b.MemShare = 0.35
+	b.Branches = []profile.BranchBin{{M: 1, N: 2, Weight: 0.6}, {M: 3, N: 4, Weight: 0.4}}
+	b.StaticBranches = 400
+	b.RAW.Bins[1] = 0.5
+	b.RAW.Bins[4] = 0.5
+	b.WAW.Bins[3] = 1
+	b.WAR.Bins[2] = 1
+	b.IWS = []profile.WSBin{
+		{Bytes: 64, Count: 1000}, {Bytes: 4096, Count: 2000}, {Bytes: 65536, Count: 1000},
+	}
+	b.DWS = []profile.WSBin{
+		{Bytes: 4096, Count: 700}, {Bytes: 1 << 20, Count: 500}, {Bytes: 16 << 20, Count: 200},
+	}
+	b.RegularFrac = 0.4
+	b.PointerFrac = 0.2
+	b.SharedFrac = 0.05
+	b.StoreFrac = 0.25
+	b.RepFrac = 0.02
+	b.RepBytesMean = 1024
+	p.Target = profile.TargetMetrics{IPC: 1.1, BranchMiss: 0.04,
+		L1iMiss: 0.03, L1dMiss: 0.08, L2Miss: 0.3, L3Miss: 0.4, KernelShare: 0.5}
+	return p
+}
+
+func TestGenerateBlocksConserveBudget(t *testing.T) {
+	spec := Generate(sampleProfile(), 1)
+	if len(spec.Body.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want one per IWS bin", len(spec.Body.Blocks))
+	}
+	var execs float64
+	for _, blk := range spec.Body.Blocks {
+		execs += blk.LoopsPerRequest * float64(len(blk.Instrs))
+	}
+	if math.Abs(execs-4000) > 400 {
+		t.Fatalf("per-request executions = %v, want ≈ 4000", execs)
+	}
+}
+
+func TestGenerateRegionsFollowFig4(t *testing.T) {
+	spec := Generate(sampleProfile(), 1)
+	if len(spec.Body.Regions) != 3 {
+		t.Fatalf("regions = %d", len(spec.Body.Regions))
+	}
+	for _, r := range spec.Body.Regions {
+		if r.WSBytes > 64 {
+			if r.Start != uint64(r.WSBytes)/2 || r.Span != uint64(r.WSBytes)-r.Start {
+				t.Fatalf("region %d: start=%d span=%d, want [2^(i-1), 2^i)", r.WSBytes, r.Start, r.Span)
+			}
+		}
+	}
+	if spec.Body.ArrayBytes != 16<<20 {
+		t.Fatalf("array = %d, want largest WS", spec.Body.ArrayBytes)
+	}
+}
+
+func TestGenerateBlockComposition(t *testing.T) {
+	spec := Generate(sampleProfile(), 2)
+	var mem, br, total, ptr, loads int
+	for _, blk := range spec.Body.Blocks {
+		if len(blk.Instrs) != len(blk.Aux) {
+			t.Fatal("aux misaligned")
+		}
+		for s := range blk.Instrs {
+			total++
+			aux := blk.Aux[s]
+			in := blk.Instrs[s]
+			if aux.IsBranch {
+				br++
+				if in.Op != isa.JCC || aux.M < 1 || aux.N < 1 {
+					t.Fatalf("bad branch slot: %+v", aux)
+				}
+			}
+			if aux.IsMem {
+				mem++
+				if aux.Region >= len(spec.Body.Regions) {
+					t.Fatalf("region out of range: %d", aux.Region)
+				}
+			}
+			if in.Op == isa.MOVptr {
+				ptr++
+				if in.Dst != isa.R11 || in.Src1 != isa.R11 {
+					t.Fatal("pointer chase must use r11")
+				}
+			}
+			if isa.Table[in.Op].Load {
+				loads++
+			}
+			// Reserved registers must not be written by generated ALU code.
+			if in.Dst >= isa.R8 && in.Dst <= isa.R10 {
+				t.Fatalf("generated code writes reserved register %v", in.Dst)
+			}
+		}
+	}
+	brFrac := float64(br) / float64(total)
+	memFrac := float64(mem) / float64(total)
+	if math.Abs(brFrac-0.12) > 0.04 {
+		t.Fatalf("branch slot fraction = %v", brFrac)
+	}
+	if math.Abs(memFrac-0.35) > 0.12 {
+		t.Fatalf("mem slot fraction = %v", memFrac)
+	}
+	if ptr == 0 {
+		t.Fatal("no pointer-chase slots generated")
+	}
+}
+
+func TestGenerateSyscallPlan(t *testing.T) {
+	spec := Generate(sampleProfile(), 3)
+	if len(spec.Syscalls) != 3 {
+		t.Fatalf("plan = %+v, want open/pread/close only", spec.Syscalls)
+	}
+	if spec.Syscalls[0].Op != kernel.SysOpen || spec.Syscalls[1].Op != kernel.SysPread ||
+		spec.Syscalls[2].Op != kernel.SysClose {
+		t.Fatalf("plan order wrong: %+v", spec.Syscalls)
+	}
+	if spec.Syscalls[1].FileSize != 1<<30 || !spec.Syscalls[1].UniformOffsets {
+		t.Fatal("pread plan lost file geometry")
+	}
+	if spec.RespBytes != 1024 || spec.ReqBytes != 64 {
+		t.Fatalf("sizes: req=%d resp=%d", spec.ReqBytes, spec.RespBytes)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(sampleProfile(), 7)
+	b := Generate(sampleProfile(), 7)
+	if len(a.Body.Blocks) != len(b.Body.Blocks) {
+		t.Fatal("nondeterministic block count")
+	}
+	for i := range a.Body.Blocks {
+		if len(a.Body.Blocks[i].Instrs) != len(b.Body.Blocks[i].Instrs) {
+			t.Fatal("nondeterministic block size")
+		}
+		for s := range a.Body.Blocks[i].Instrs {
+			if a.Body.Blocks[i].Instrs[s] != b.Body.Blocks[i].Instrs[s] {
+				t.Fatal("nondeterministic instruction")
+			}
+		}
+	}
+}
+
+func TestAdjustKnobs(t *testing.T) {
+	prof := sampleProfile()
+	base := Generate(prof, 1)
+	big := GenerateAdjusted(prof, Adjust{IWSScale: 1, DWSScale: 4, PtrScale: 1, InstrScale: 1}, 1)
+	if big.Body.ArrayBytes <= base.Body.ArrayBytes {
+		t.Fatal("DWS scale should grow the data array")
+	}
+	shifted := GenerateAdjusted(prof, Adjust{IWSScale: 1, DWSScale: 1, PtrScale: 1, InstrScale: 1, MNShift: 5}, 1)
+	for _, blk := range shifted.Body.Blocks {
+		for _, aux := range blk.Aux {
+			if aux.IsBranch && aux.M < 5 {
+				t.Fatalf("MN shift not applied: M=%d", aux.M)
+			}
+		}
+	}
+	scaled := GenerateAdjusted(prof, Adjust{IWSScale: 1, DWSScale: 1, PtrScale: 1, InstrScale: 2}, 1)
+	var execsBase, execsScaled float64
+	for _, blk := range base.Body.Blocks {
+		execsBase += blk.LoopsPerRequest * float64(len(blk.Instrs))
+	}
+	for _, blk := range scaled.Body.Blocks {
+		execsScaled += blk.LoopsPerRequest * float64(len(blk.Instrs))
+	}
+	if execsScaled < execsBase*1.8 {
+		t.Fatalf("instr scale not applied: %v vs %v", execsScaled, execsBase)
+	}
+}
+
+func TestScaleBins(t *testing.T) {
+	bins := []profile.WSBin{{Bytes: 4096, Count: 10}, {Bytes: 8192, Count: 5}}
+	same := scaleBins(bins, 1)
+	if &same[0] != &bins[0] {
+		t.Fatal("identity scale should return input")
+	}
+	up := scaleBins(bins, 2)
+	if up[0].Bytes != 8192 || up[1].Bytes != 16384 {
+		t.Fatalf("up = %+v", up)
+	}
+	// Collisions merge: 4096*0.5=2048, 8192*0.5=4096.
+	down := scaleBins([]profile.WSBin{{Bytes: 4096, Count: 10}, {Bytes: 4096 * 2, Count: 5}}, 0.5)
+	if len(down) != 2 || down[0].Bytes != 2048 {
+		t.Fatalf("down = %+v", down)
+	}
+	tiny := scaleBins(bins, 0.001)
+	if tiny[0].Bytes != 64 {
+		t.Fatal("scale floor at one line")
+	}
+}
+
+func TestMaxRelErrAndHelpers(t *testing.T) {
+	m := profile.TargetMetrics{IPC: 1, L1iMiss: 0.02, L1dMiss: 0.05, L2Miss: 0.2, BranchMiss: 0.03}
+	if e := MaxRelErr(m, m); e != 0 {
+		t.Fatalf("self error = %v", e)
+	}
+	worse := m
+	worse.IPC = 0.5
+	if e := MaxRelErr(worse, m); math.Abs(e-0.5) > 1e-9 {
+		t.Fatalf("err = %v", e)
+	}
+	if relErr(0, 0) != 0 || relErr(1, 0) != 1 {
+		t.Fatal("relErr zero handling")
+	}
+	if signedRel(0, 5) != 0 {
+		t.Fatal("signedRel zero target")
+	}
+	if clampF(5, 0, 1) != 1 || clampF(-1, 0, 1) != 0 {
+		t.Fatal("clampF")
+	}
+}
+
+func TestFineTuneConvergesOnSyntheticRunner(t *testing.T) {
+	prof := sampleProfile()
+	// A fake runner whose measurements respond monotonically to the knobs,
+	// isolating the feedback logic from the simulator.
+	run := func(spec *SynthSpec) profile.TargetMetrics {
+		a := spec.Applied
+		return profile.TargetMetrics{
+			IPC:        1.4 / a.PtrScale,
+			L1iMiss:    0.015 * a.IWSScale,
+			L1dMiss:    0.04 * a.DWSScale,
+			L2Miss:     0.15 * a.DWSScale,
+			L3Miss:     0.2 * a.DWSScale,
+			BranchMiss: 0.05 * math.Pow(0.8, float64(a.MNShift)),
+		}
+	}
+	spec, trace := FineTune(prof, 1, run, 10, 0.08)
+	if spec == nil || len(trace) == 0 {
+		t.Fatal("no result")
+	}
+	final := trace[len(trace)-1]
+	if final.MaxErr > 0.25 {
+		t.Fatalf("did not converge: %+v", trace)
+	}
+	if len(trace) > 1 && trace[0].MaxErr <= final.MaxErr {
+		t.Fatalf("tuning did not improve: first=%v last=%v", trace[0].MaxErr, final.MaxErr)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"ditto/internal/isa"
+	"ditto/internal/profile"
+)
+
+// Stage selects how much of Ditto's sophistication is enabled, reproducing
+// the accuracy-decomposition study of Fig. 9 (A: skeleton only … I: fine
+// tuned).
+type Stage int
+
+// Decomposition stages, in the paper's order.
+const (
+	StageSkeleton   Stage = iota // A: thread + network model, empty body
+	StageSyscall                 // B: + system calls with profiled arguments
+	StageInstrCount              // C: + user instructions (add r,r) matching count
+	StageMix                     // D: + profiled instruction mix (worst-case rest)
+	StageBranch                  // E: + profiled branch taken/transition rates
+	StageIMem                    // F: + instruction memory access pattern
+	StageDMem                    // G: + data memory access pattern
+	StageDep                     // H: + data dependencies (full generation)
+	StageTune                    // I: + fine tuning
+	NumStages
+)
+
+var stageNames = [...]string{
+	"A:Skeleton", "B:Syscall", "C:#insts", "D:Inst.mix", "E:Branch",
+	"F:I-mem", "G:D-mem", "H:Datadep.", "I:Tune",
+}
+
+// String names the stage as the paper's x-axis labels do.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// GenerateStaged builds the synthetic spec with only the features up to and
+// including stage enabled. StageTune is generated like StageDep — tuning is
+// the caller's FineTune loop.
+func GenerateStaged(prof *profile.AppProfile, stage Stage, seed int64) *SynthSpec {
+	p := *prof // shallow copy; body replaced below
+	b := prof.Body
+
+	switch {
+	case stage <= StageSkeleton:
+		b = profile.BodyProfile{}
+		p.Syscalls = nil
+	case stage == StageSyscall:
+		b = profile.BodyProfile{}
+	case stage == StageInstrCount:
+		// Serial add r,r to match the dynamic instruction count only.
+		b = profile.BodyProfile{
+			InstrsPerRequest: prof.Body.InstrsPerRequest,
+			Mix:              []profile.MixEntry{{Op: isa.ADDrr, Share: 1}},
+			IWS:              []profile.WSBin{{Bytes: 1024, Count: prof.Body.InstrsPerRequest}},
+			RAW:              strongestDeps(),
+			WAW:              strongestDeps(),
+		}
+	default:
+		// Stage D and above start from the full profile and degrade the
+		// not-yet-enabled dimensions to the paper's worst-case assumptions.
+		if stage < StageBranch {
+			b.Branches = []profile.BranchBin{{M: 1, N: 1, Weight: 1}}
+		}
+		if stage < StageIMem {
+			var total float64
+			for _, bin := range prof.Body.IWS {
+				total += bin.Count
+			}
+			b.IWS = []profile.WSBin{{Bytes: 1024, Count: total}}
+		}
+		if stage < StageDMem {
+			var total float64
+			for _, bin := range prof.Body.DWS {
+				total += bin.Count
+			}
+			b.DWS = []profile.WSBin{{Bytes: 64, Count: total}}
+			b.SharedFrac = 0
+		}
+		if stage < StageDep {
+			b.RAW = strongestDeps()
+			b.WAW = strongestDeps()
+			b.WAR = strongestDeps()
+			b.PointerFrac = 0
+		}
+	}
+	p.Body = b
+	return Generate(&p, seed)
+}
+
+// strongestDeps is the distance-1 histogram (every instruction depends on
+// its predecessor).
+func strongestDeps() profile.DepHist {
+	var h profile.DepHist
+	h.Bins[0] = 1
+	return h
+}

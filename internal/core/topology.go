@@ -1,0 +1,130 @@
+package core
+
+import (
+	"sort"
+
+	"ditto/internal/app"
+	"ditto/internal/dtrace"
+)
+
+// TierPlan is the learned shape of one microservice tier: per-request-kind
+// downstream calls with probabilities and message sizes, reconstructed from
+// distributed traces (§4.2). Together with the tier's AppProfile it fully
+// specifies a synthetic tier.
+type TierPlan struct {
+	Service   string
+	Calls     map[int][]app.Call
+	RespBytes int
+	Root      bool
+}
+
+// kindOfOp maps span operation names back to request kinds.
+func kindOfOp(op string) int {
+	switch op {
+	case "compose-post":
+		return app.KindComposePost
+	case "read-home-timeline":
+		return app.KindReadHomeTimeline
+	case "read-user-timeline":
+		return app.KindReadUserTimeline
+	}
+	return 0
+}
+
+// LearnTopology reconstructs per-service, per-operation call plans from
+// collected spans. Edge probability is child invocations per parent
+// invocation; message sizes come from span tags.
+func LearnTopology(spans []dtrace.Span) map[string]*TierPlan {
+	plans := map[string]*TierPlan{}
+	get := func(svc string) *TierPlan {
+		p := plans[svc]
+		if p == nil {
+			p = &TierPlan{Service: svc, Calls: map[int][]app.Call{}}
+			plans[svc] = p
+		}
+		return p
+	}
+	byID := map[dtrace.SpanID]dtrace.Span{}
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+
+	type edgeKey struct {
+		parent, child string
+		kind          int
+	}
+	type edgeAgg struct {
+		calls     int
+		reqBytes  int
+		respBytes int
+	}
+	parents := map[[2]any]int{} // (service, kind) -> invocations
+	edges := map[edgeKey]*edgeAgg{}
+	respBytes := map[string][2]int{} // service -> (sum, count)
+
+	for _, s := range spans {
+		kind := kindOfOp(s.Operation)
+		parents[[2]any{s.Service, kind}]++
+		rb := respBytes[s.Service]
+		rb[0] += s.RespBytes
+		rb[1]++
+		respBytes[s.Service] = rb
+		if s.Parent == 0 {
+			get(s.Service).Root = true
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			get(s.Service).Root = true
+			continue
+		}
+		k := edgeKey{parent: p.Service, child: s.Service, kind: kind}
+		e := edges[k]
+		if e == nil {
+			e = &edgeAgg{}
+			edges[k] = e
+		}
+		e.calls++
+		e.reqBytes += s.ReqBytes
+		e.respBytes += s.RespBytes
+	}
+
+	var keys []edgeKey
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.parent != b.parent {
+			return a.parent < b.parent
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.child < b.child
+	})
+	for _, k := range keys {
+		e := edges[k]
+		pInv := parents[[2]any{k.parent, k.kind}]
+		if pInv == 0 {
+			continue
+		}
+		prob := float64(e.calls) / float64(pInv)
+		if prob > 1 {
+			prob = 1
+		}
+		plan := get(k.parent)
+		plan.Calls[k.kind] = append(plan.Calls[k.kind], app.Call{
+			Target:    k.child,
+			Prob:      prob,
+			ReqBytes:  e.reqBytes / e.calls,
+			RespBytes: e.respBytes / e.calls,
+		})
+	}
+	for svc, rb := range respBytes {
+		if rb[1] > 0 {
+			get(svc).RespBytes = rb[0] / rb[1]
+		}
+	}
+	return plans
+}

@@ -1,0 +1,482 @@
+// Package cpu implements the out-of-order core model that executes
+// instruction streams for both the original applications and the Ditto
+// clones. It is an interval/scoreboard model rather than a cycle-accurate
+// pipeline: an in-order frontend with an L1i path and a branch predictor
+// dispatches uops at the machine width, a register ready-time scoreboard
+// plus per-port occupancy captures ILP, MLP and port contention, and a
+// reorder-buffer ring bounds how far execution can run ahead. The model
+// produces the counter set the paper validates against: IPC, per-level
+// cache miss rates, branch mispredictions, and the top-down cycle breakdown
+// (retiring / frontend / bad speculation / backend) of Fig. 2 and Fig. 8.
+package cpu
+
+import (
+	"ditto/internal/branch"
+	"ditto/internal/cache"
+	"ditto/internal/isa"
+	"ditto/internal/sim"
+)
+
+// Arch describes platform-independent core parameters (per CPU family,
+// Table 1: Skylake vs Haswell).
+type Arch struct {
+	Name              string
+	IssueWidth        int // fused-domain uops dispatched per cycle
+	ROB               int // reorder-buffer entries
+	MispredictPenalty int // cycles lost per branch mispredict
+	PredictorEntries  int // predictor table entries per component
+}
+
+// Skylake and Haswell are the two core generations in the paper's cluster.
+var (
+	Skylake = Arch{Name: "skylake", IssueWidth: 4, ROB: 224, MispredictPenalty: 16, PredictorEntries: 8192}
+	Haswell = Arch{Name: "haswell", IssueWidth: 3, ROB: 192, MispredictPenalty: 18, PredictorEntries: 4096}
+)
+
+// Config assembles one logical core: its architecture, clock, cache paths,
+// and environment-dependent knobs set by the platform.
+type Config struct {
+	Arch    Arch
+	FreqGHz float64
+	ICache  *cache.Hierarchy
+	DCache  *cache.Hierarchy
+	// CoherenceInvRate is the probability that an access flagged Shared
+	// finds its line invalidated by another core (§4.4.4 coherence misses).
+	CoherenceInvRate float64
+	// SMTFactor scales effective issue width for hyperthread sharing:
+	// 1.0 = core alone, 0.5 = competing sibling thread (Fig. 10 HT).
+	SMTFactor float64
+}
+
+// Counters is the performance-counter set a run accumulates — the model's
+// equivalent of the perf/VTune counters Ditto reads.
+type Counters struct {
+	Instrs       uint64
+	KernelInstrs uint64
+	Uops         uint64
+	Cycles       float64
+
+	Branches uint64
+	Mispred  uint64
+
+	L1iAcc, L1iMiss uint64
+	L1dAcc, L1dMiss uint64
+	L2Acc, L2Miss   uint64
+	L3Acc, L3Miss   uint64
+	MemAcc          uint64
+
+	LoadBytes, StoreBytes uint64
+
+	// Top-down cycle attribution (Fig. 8).
+	Retiring float64
+	Frontend float64
+	BadSpec  float64
+	Backend  float64
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o Counters) {
+	c.Instrs += o.Instrs
+	c.KernelInstrs += o.KernelInstrs
+	c.Uops += o.Uops
+	c.Cycles += o.Cycles
+	c.Branches += o.Branches
+	c.Mispred += o.Mispred
+	c.L1iAcc += o.L1iAcc
+	c.L1iMiss += o.L1iMiss
+	c.L1dAcc += o.L1dAcc
+	c.L1dMiss += o.L1dMiss
+	c.L2Acc += o.L2Acc
+	c.L2Miss += o.L2Miss
+	c.L3Acc += o.L3Acc
+	c.L3Miss += o.L3Miss
+	c.MemAcc += o.MemAcc
+	c.LoadBytes += o.LoadBytes
+	c.StoreBytes += o.StoreBytes
+	c.Retiring += o.Retiring
+	c.Frontend += o.Frontend
+	c.BadSpec += o.BadSpec
+	c.Backend += o.Backend
+}
+
+// IPC reports instructions per cycle.
+func (c *Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instrs) / c.Cycles
+}
+
+// CPI reports cycles per instruction.
+func (c *Counters) CPI() float64 {
+	if c.Instrs == 0 {
+		return 0
+	}
+	return c.Cycles / float64(c.Instrs)
+}
+
+func rate(miss, acc uint64) float64 {
+	if acc == 0 {
+		return 0
+	}
+	return float64(miss) / float64(acc)
+}
+
+// L1iMissRate reports L1 instruction-cache misses per L1i access.
+func (c *Counters) L1iMissRate() float64 { return rate(c.L1iMiss, c.L1iAcc) }
+
+// L1dMissRate reports L1 data-cache misses per L1d access.
+func (c *Counters) L1dMissRate() float64 { return rate(c.L1dMiss, c.L1dAcc) }
+
+// L2MissRate reports L2 misses per L2 access (instruction + data).
+func (c *Counters) L2MissRate() float64 { return rate(c.L2Miss, c.L2Acc) }
+
+// L3MissRate reports LLC misses per LLC access.
+func (c *Counters) L3MissRate() float64 { return rate(c.L3Miss, c.L3Acc) }
+
+// BranchMissRate reports mispredictions per conditional branch.
+func (c *Counters) BranchMissRate() float64 { return rate(c.Mispred, c.Branches) }
+
+// MPKI reports branch mispredictions per kilo-instruction.
+func (c *Counters) MPKI() float64 {
+	if c.Instrs == 0 {
+		return 0
+	}
+	return float64(c.Mispred) / float64(c.Instrs) * 1000
+}
+
+// KernelShare reports the fraction of instructions executed in kernel mode.
+func (c *Counters) KernelShare() float64 {
+	if c.Instrs == 0 {
+		return 0
+	}
+	return float64(c.KernelInstrs) / float64(c.Instrs)
+}
+
+// Core is one logical execution context. It owns warm micro-architectural
+// state (caches via Config, predictor, coherence RNG) that persists across
+// Execute calls, which is what makes consecutive bursts of the same thread
+// cheaper than cold starts.
+type Core struct {
+	cfg  Config
+	pred *branch.Predictor
+
+	regReady  [isa.NumRegs]float64
+	portFree  [8]float64
+	robRing   []float64
+	robPos    int
+	lastFetch uint64
+	haveFetch bool
+	rng       uint64
+}
+
+// NewCore builds a core from cfg.
+func NewCore(cfg Config) *Core {
+	if cfg.SMTFactor == 0 {
+		cfg.SMTFactor = 1
+	}
+	if cfg.FreqGHz == 0 {
+		cfg.FreqGHz = 2.0
+	}
+	c := &Core{
+		cfg:     cfg,
+		pred:    branch.NewPredictor(cfg.Arch.PredictorEntries),
+		robRing: make([]float64, cfg.Arch.ROB),
+		rng:     0x9E3779B97F4A7C15,
+	}
+	return c
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// SetCoherenceInvRate adjusts the shared-access invalidation probability
+// (set by the platform from the thread topology).
+func (c *Core) SetCoherenceInvRate(r float64) { c.cfg.CoherenceInvRate = r }
+
+// SetSMTFactor adjusts the hyperthread-sharing factor.
+func (c *Core) SetSMTFactor(f float64) {
+	if f <= 0 {
+		f = 1
+	}
+	c.cfg.SMTFactor = f
+}
+
+// ContextSwitch models the micro-architectural cost of switching to a
+// different thread: private cache pollution and predictor perturbation.
+func (c *Core) ContextSwitch() {
+	if c.cfg.ICache != nil {
+		c.cfg.ICache.FlushPrivate()
+	}
+	if c.cfg.DCache != nil {
+		c.cfg.DCache.FlushPrivate()
+	}
+}
+
+func (c *Core) next01() float64 {
+	// xorshift64*: deterministic, cheap, independent of math/rand state.
+	c.rng ^= c.rng >> 12
+	c.rng ^= c.rng << 25
+	c.rng ^= c.rng >> 27
+	return float64(c.rng*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+}
+
+// Result is the outcome of executing one instruction burst.
+type Result struct {
+	Cycles   float64
+	Counters Counters
+}
+
+// Time converts the result's cycle count to simulated wall time at the
+// core's configured frequency.
+func (c *Core) Time(cycles float64) sim.Time {
+	ns := cycles / c.cfg.FreqGHz
+	return sim.Time(ns * float64(sim.Nanosecond))
+}
+
+// Execute runs one dynamic instruction stream to completion and returns
+// consumed cycles plus counter deltas. The timeline is local to the burst;
+// cache and predictor state persist across bursts.
+func (c *Core) Execute(stream []isa.Instr) Result {
+	var ctr Counters
+	width := float64(c.cfg.Arch.IssueWidth) * c.cfg.SMTFactor
+	if width < 1 {
+		width = 1
+	}
+	for i := range c.regReady {
+		c.regReady[i] = 0
+	}
+	for i := range c.portFree {
+		c.portFree[i] = 0
+	}
+	for i := range c.robRing {
+		c.robRing[i] = 0
+	}
+	c.robPos = 0
+
+	dispatch := 0.0
+	maxComplete := 0.0
+	l1iLat, l1dLat := c.l1Lat(c.cfg.ICache), c.l1Lat(c.cfg.DCache)
+
+	for i := range stream {
+		in := &stream[i]
+		f := &isa.Table[in.Op]
+
+		ctr.Instrs++
+		if in.Kernel {
+			ctr.KernelInstrs++
+		}
+		uops := float64(f.Uops)
+		ctr.Uops += uint64(f.Uops)
+		dispatch += uops / width
+
+		// Frontend: fetch the instruction's line when it changes.
+		line := in.PC / isa.LineBytes
+		if !c.haveFetch || line != c.lastFetch {
+			c.lastFetch = line
+			c.haveFetch = true
+			if c.cfg.ICache != nil {
+				res := c.cfg.ICache.Access(in.PC)
+				c.countAccess(&ctr, res, true)
+				if res.Served != cache.L1 {
+					stall := float64(res.Latency - l1iLat)
+					dispatch += stall
+					ctr.Frontend += stall
+				}
+			}
+		}
+
+		// Branch prediction.
+		if f.Branch {
+			ctr.Branches++
+			if !c.pred.Access(in.PC, in.Taken) {
+				ctr.Mispred++
+				pen := float64(c.cfg.Arch.MispredictPenalty)
+				dispatch += pen
+				ctr.BadSpec += pen
+			}
+		}
+
+		// ROB: cannot dispatch past the window.
+		if old := c.robRing[c.robPos]; old > dispatch {
+			dispatch = old
+		}
+
+		// Register dataflow.
+		ready := dispatch
+		if in.Src1 != isa.RegNone && c.regReady[in.Src1] > ready {
+			ready = c.regReady[in.Src1]
+		}
+		if in.Src2 != isa.RegNone && c.regReady[in.Src2] > ready {
+			ready = c.regReady[in.Src2]
+		}
+
+		// Port selection: least-loaded allowed port.
+		port := c.pickPort(f.Ports)
+		issue := ready
+		if c.portFree[port] > issue {
+			issue = c.portFree[port]
+		}
+		c.portFree[port] = issue + 1
+
+		// Memory.
+		memExtra := 0.0
+		if f.Load || f.Store {
+			memExtra = c.memAccess(&ctr, in, f, l1dLat)
+		}
+
+		execLat := float64(f.Latency)
+		if f.Rep && in.RepCount > 1 {
+			execLat += float64(f.RepUnit) * float64(in.RepCount) / 8
+		}
+		complete := issue + execLat
+		if f.Load {
+			complete += memExtra
+		}
+		if in.Dst != isa.RegNone {
+			c.regReady[in.Dst] = complete
+		}
+		c.robRing[c.robPos] = complete
+		c.robPos++
+		if c.robPos == len(c.robRing) {
+			c.robPos = 0
+		}
+		if complete > maxComplete {
+			maxComplete = complete
+		}
+	}
+
+	cycles := dispatch
+	if maxComplete > cycles {
+		cycles = maxComplete
+	}
+	ctr.Cycles = cycles
+	ctr.Retiring = float64(ctr.Uops) / width
+	back := cycles - ctr.Retiring - ctr.Frontend - ctr.BadSpec
+	if back < 0 {
+		back = 0
+	}
+	ctr.Backend = back
+	return Result{Cycles: cycles, Counters: ctr}
+}
+
+// memAccess performs the data-side cache walk(s) for one instruction and
+// returns the extra load latency beyond an L1 hit (already included in the
+// iform latency). REP ops walk their whole byte range a line at a time,
+// with streaming overlap dividing the exposed latency.
+func (c *Core) memAccess(ctr *Counters, in *isa.Instr, f *isa.IForm, l1dLat int) float64 {
+	if c.cfg.DCache == nil {
+		return 0
+	}
+	if in.Shared && c.cfg.CoherenceInvRate > 0 && c.next01() < c.cfg.CoherenceInvRate {
+		c.cfg.DCache.Invalidate(in.Addr)
+	}
+	if f.Load {
+		ctr.LoadBytes += 8
+	}
+	if f.Store {
+		ctr.StoreBytes += 8
+	}
+	if !f.Rep {
+		res := c.cfg.DCache.Access(in.Addr)
+		c.countAccess(ctr, res, false)
+		extra := float64(res.Latency - l1dLat)
+		if extra < 0 {
+			extra = 0
+		}
+		if f.Store && !f.Load {
+			return 0 // store buffer hides store latency
+		}
+		return extra
+	}
+	// REP string op: touch every line in [Addr, Addr+RepCount).
+	n := int(in.RepCount)
+	if n < 1 {
+		n = 1
+	}
+	if f.Load {
+		ctr.LoadBytes += uint64(n)
+	}
+	if f.Store {
+		ctr.StoreBytes += uint64(n)
+	}
+	lines := (n + isa.LineBytes - 1) / isa.LineBytes
+	var exposed float64
+	for l := 0; l < lines; l++ {
+		res := c.cfg.DCache.Access(in.Addr + uint64(l*isa.LineBytes))
+		c.countAccess(ctr, res, false)
+		if extra := float64(res.Latency - l1dLat); extra > 0 {
+			exposed += extra
+		}
+	}
+	const streamMLP = 4 // hardware stream overlap for bulk copies
+	return exposed / streamMLP
+}
+
+// countAccess attributes one hierarchy access to the per-level counters.
+func (c *Core) countAccess(ctr *Counters, res cache.Result, instrSide bool) {
+	if instrSide {
+		ctr.L1iAcc++
+		if res.Served > cache.L1 {
+			ctr.L1iMiss++
+		}
+	} else {
+		ctr.L1dAcc++
+		if res.Served > cache.L1 {
+			ctr.L1dMiss++
+		}
+	}
+	if res.Served > cache.L1 {
+		ctr.L2Acc++
+		if res.Served > cache.L2 {
+			ctr.L2Miss++
+		}
+	}
+	if res.Served > cache.L2 {
+		ctr.L3Acc++
+		if res.Served > cache.L3 {
+			ctr.L3Miss++
+		}
+	}
+	if res.Served == cache.Mem {
+		ctr.MemAcc++
+	}
+}
+
+// l1Lat returns the first-level hit latency of h, or 0 when absent.
+func (c *Core) l1Lat(h *cache.Hierarchy) int {
+	if h == nil || h.Caches[0] == nil {
+		return 4
+	}
+	return h.Caches[0].Config().Latency
+}
+
+// portLists caches, for every possible mask, the port indices it allows.
+var portLists = func() (t [256][]uint8) {
+	for m := 0; m < 256; m++ {
+		for p := uint8(0); p < 8; p++ {
+			if m&(1<<p) != 0 {
+				t[m] = append(t[m], p)
+			}
+		}
+		if len(t[m]) == 0 {
+			t[m] = []uint8{0}
+		}
+	}
+	return t
+}()
+
+// pickPort chooses the least-loaded port allowed by mask, deterministically.
+func (c *Core) pickPort(mask isa.PortMask) int {
+	ports := portLists[mask]
+	best := ports[0]
+	if len(ports) == 1 {
+		return int(best)
+	}
+	for _, p := range ports[1:] {
+		if c.portFree[p] < c.portFree[best] {
+			best = p
+		}
+	}
+	return int(best)
+}

@@ -1,0 +1,42 @@
+package cpu
+
+import (
+	"testing"
+
+	"ditto/internal/isa"
+)
+
+// BenchmarkExecuteALU measures simulator throughput on a pure ALU stream —
+// the upper bound on simulation speed.
+func BenchmarkExecuteALU(b *testing.B) {
+	c := testCore()
+	stream := independentALU(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Execute(stream)
+	}
+	b.ReportMetric(float64(len(stream)), "instrs/op")
+}
+
+// BenchmarkExecuteMemHeavy measures throughput with cache-hierarchy walks
+// on every third instruction — the realistic workload shape.
+func BenchmarkExecuteMemHeavy(b *testing.B) {
+	c := testCore()
+	stream := make([]isa.Instr, 4096)
+	for i := range stream {
+		if i%3 == 0 {
+			stream[i] = isa.Instr{Op: isa.MOVload, PC: 0x400000 + uint64(i%64)*4,
+				Dst: isa.Reg(i % 8), Src1: isa.R10,
+				Addr: 0x10000000 + uint64(i*64)%(8<<20), BranchID: -1}
+		} else {
+			stream[i] = isa.Instr{Op: isa.ADDrr, PC: 0x400000 + uint64(i%64)*4,
+				Dst: isa.Reg(i % 8), Src1: isa.Reg(i % 8), Src2: isa.Reg((i + 1) % 8),
+				BranchID: -1}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Execute(stream)
+	}
+	b.ReportMetric(float64(len(stream)), "instrs/op")
+}

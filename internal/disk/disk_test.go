@@ -1,0 +1,91 @@
+package disk
+
+import (
+	"testing"
+
+	"ditto/internal/sim"
+)
+
+func TestReadCompletion(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, SSDConfig())
+	var doneAt sim.Time
+	d.Read(500*1000*1000/1000, func() { doneAt = eng.Now() }) // 500KB
+	eng.Run()
+	// 80us latency + 500KB at 500MB/s = 1ms.
+	want := 80*sim.Microsecond + sim.Millisecond
+	if doneAt != want {
+		t.Fatalf("doneAt = %v, want %v", doneAt, want)
+	}
+	ctr := d.Counters()
+	if ctr.ReadOps != 1 || ctr.ReadBytes != 500000 {
+		t.Fatalf("counters = %+v", ctr)
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, SSDConfig())
+	var first, second sim.Time
+	d.Read(0, func() { first = eng.Now() })
+	d.Read(0, func() { second = eng.Now() })
+	eng.Run()
+	if first != 80*sim.Microsecond {
+		t.Fatalf("first = %v", first)
+	}
+	if second != 160*sim.Microsecond {
+		t.Fatalf("second = %v, queueing not applied", second)
+	}
+}
+
+func TestHDDSlowerThanSSD(t *testing.T) {
+	eng := sim.NewEngine()
+	ssd := New(eng, SSDConfig())
+	hdd := New(eng, HDDConfig())
+	var sAt, hAt sim.Time
+	ssd.Read(4096, func() { sAt = eng.Now() })
+	hdd.Read(4096, func() { hAt = eng.Now() })
+	eng.Run()
+	if hAt < 50*sAt {
+		t.Fatalf("HDD should be far slower: ssd=%v hdd=%v", sAt, hAt)
+	}
+}
+
+func TestWriteAndNilDone(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, HDDConfig())
+	end := d.Write(8192, nil)
+	if end <= 0 {
+		t.Fatal("write end time not returned")
+	}
+	eng.Run()
+	ctr := d.Counters()
+	if ctr.WriteOps != 1 || ctr.WriteBytes != 8192 {
+		t.Fatalf("counters = %+v", ctr)
+	}
+}
+
+func TestQueueDepthTime(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, SSDConfig())
+	if d.QueueDepthTime() != 0 {
+		t.Fatal("idle device should report 0 depth")
+	}
+	d.Read(1<<20, func() {})
+	if d.QueueDepthTime() == 0 {
+		t.Fatal("busy device should report positive depth")
+	}
+	eng.Run() // advances to the read's completion event
+	if d.QueueDepthTime() != 0 {
+		t.Fatal("drained device should report 0 depth")
+	}
+}
+
+func TestNegativeBytesClamped(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, SSDConfig())
+	d.Read(-5, nil)
+	if d.Counters().ReadBytes != 0 {
+		t.Fatal("negative bytes should clamp to 0")
+	}
+}

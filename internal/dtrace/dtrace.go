@@ -1,0 +1,219 @@
+// Package dtrace is the distributed-tracing substrate (the Jaeger/Zipkin
+// analog of §4.2): services record spans with parent links and a collector
+// samples whole traces. Ditto's topology analyzer consumes the collected
+// spans to reconstruct the RPC dependency graph.
+package dtrace
+
+import "ditto/internal/sim"
+
+// TraceID identifies one end-to-end request.
+type TraceID uint64
+
+// SpanID identifies one service invocation within a trace.
+type SpanID uint64
+
+// Span is one recorded service invocation.
+type Span struct {
+	Trace     TraceID
+	ID        SpanID
+	Parent    SpanID // 0 for root spans
+	Service   string
+	Operation string
+	Start     sim.Time
+	End       sim.Time
+	// Message-size tags, as production tracing commonly records.
+	ReqBytes  int
+	RespBytes int
+}
+
+// Duration returns the span's wall time.
+func (s Span) Duration() sim.Time { return s.End - s.Start }
+
+// Collector samples and stores traces. Sampling keeps 1-in-N traces, the
+// low-overhead configuration the paper assumes for production tracing.
+type Collector struct {
+	sampleEvery int
+	nextTrace   uint64
+	nextSpan    uint64
+	spans       []Span
+	sampled     map[TraceID]bool
+}
+
+// NewCollector builds a collector keeping every sampleEvery-th trace
+// (minimum 1 = keep everything).
+func NewCollector(sampleEvery int) *Collector {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &Collector{sampleEvery: sampleEvery, sampled: map[TraceID]bool{}}
+}
+
+// StartTrace allocates a trace id and decides its sampling fate.
+func (c *Collector) StartTrace() TraceID {
+	c.nextTrace++
+	id := TraceID(c.nextTrace)
+	if c.nextTrace%uint64(c.sampleEvery) == 0 {
+		c.sampled[id] = true
+	}
+	return id
+}
+
+// NextSpanID allocates a span id.
+func (c *Collector) NextSpanID() SpanID {
+	c.nextSpan++
+	return SpanID(c.nextSpan)
+}
+
+// Record stores a span if its trace is sampled.
+func (c *Collector) Record(s Span) {
+	if c.sampled[s.Trace] {
+		c.spans = append(c.spans, s)
+	}
+}
+
+// Spans returns the collected spans.
+func (c *Collector) Spans() []Span { return c.spans }
+
+// Traces groups collected spans by trace id.
+func (c *Collector) Traces() map[TraceID][]Span {
+	out := map[TraceID][]Span{}
+	for _, s := range c.spans {
+		out[s.Trace] = append(out[s.Trace], s)
+	}
+	return out
+}
+
+// Reset drops collected spans but keeps id counters monotonic.
+func (c *Collector) Reset() {
+	c.spans = nil
+	c.sampled = map[TraceID]bool{}
+}
+
+// Edge is one parent→child service dependency with its observed weight.
+type Edge struct {
+	From, To string
+	Calls    int     // child invocations observed
+	Prob     float64 // child invocations per parent invocation
+}
+
+// Graph is a reconstructed service dependency graph.
+type Graph struct {
+	Services []string
+	Edges    []Edge
+	Roots    []string
+}
+
+// BuildGraph reconstructs the RPC dependency DAG from collected spans —
+// the topology-extraction step Ditto feeds to its skeleton generator.
+func BuildGraph(spans []Span) Graph {
+	byID := map[SpanID]Span{}
+	parents := map[string]int{}
+	edgeCalls := map[[2]string]int{}
+	services := map[string]bool{}
+	roots := map[string]bool{}
+	for _, s := range spans {
+		byID[s.ID] = s
+		services[s.Service] = true
+		parents[s.Service]++
+	}
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots[s.Service] = true
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			roots[s.Service] = true
+			continue
+		}
+		edgeCalls[[2]string{p.Service, s.Service}]++
+	}
+	var g Graph
+	for svc := range services {
+		g.Services = append(g.Services, svc)
+	}
+	sortStrings(g.Services)
+	for pair, n := range edgeCalls {
+		prob := 0.0
+		if pn := parents[pair[0]]; pn > 0 {
+			prob = float64(n) / float64(pn)
+		}
+		g.Edges = append(g.Edges, Edge{From: pair[0], To: pair[1], Calls: n, Prob: prob})
+	}
+	sortEdges(g.Edges)
+	for svc := range roots {
+		g.Roots = append(g.Roots, svc)
+	}
+	sortStrings(g.Roots)
+	return g
+}
+
+// IsAcyclic reports whether the graph is a DAG (microservice topologies
+// must be, per §4.2).
+func (g Graph) IsAcyclic() bool {
+	adj := map[string][]string{}
+	for _, e := range g.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) bool
+	visit = func(n string) bool {
+		color[n] = gray
+		for _, m := range adj[n] {
+			switch color[m] {
+			case gray:
+				return false
+			case white:
+				if !visit(m) {
+					return false
+				}
+			}
+		}
+		color[n] = black
+		return true
+	}
+	for _, s := range g.Services {
+		if color[s] == white && !visit(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// Out returns the outgoing edges of a service.
+func (g Graph) Out(service string) []Edge {
+	var out []Edge
+	for _, e := range g.Edges {
+		if e.From == service {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func sortEdges(e []Edge) {
+	less := func(a, b Edge) bool {
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	}
+	for i := 1; i < len(e); i++ {
+		for j := i; j > 0 && less(e[j], e[j-1]); j-- {
+			e[j], e[j-1] = e[j-1], e[j]
+		}
+	}
+}

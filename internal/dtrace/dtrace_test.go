@@ -1,0 +1,156 @@
+package dtrace
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"ditto/internal/sim"
+)
+
+func mkSpan(c *Collector, trace TraceID, parent SpanID, svc string) Span {
+	s := Span{Trace: trace, ID: c.NextSpanID(), Parent: parent, Service: svc,
+		Start: 0, End: sim.Millisecond}
+	c.Record(s)
+	return s
+}
+
+func TestCollectorSampling(t *testing.T) {
+	c := NewCollector(3)
+	kept := 0
+	for i := 0; i < 30; i++ {
+		tr := c.StartTrace()
+		mkSpan(c, tr, 0, "frontend")
+	}
+	kept = len(c.Spans())
+	if kept != 10 {
+		t.Fatalf("kept %d of 30 with 1-in-3 sampling", kept)
+	}
+	c.Reset()
+	if len(c.Spans()) != 0 {
+		t.Fatal("reset did not clear spans")
+	}
+	full := NewCollector(0) // clamps to 1
+	tr := full.StartTrace()
+	mkSpan(full, tr, 0, "a")
+	if len(full.Spans()) != 1 {
+		t.Fatal("sampleEvery 1 should keep everything")
+	}
+}
+
+func TestBuildGraph(t *testing.T) {
+	c := NewCollector(1)
+	for i := 0; i < 10; i++ {
+		tr := c.StartTrace()
+		root := mkSpan(c, tr, 0, "frontend")
+		child := mkSpan(c, tr, root.ID, "svc-b")
+		if i < 5 {
+			mkSpan(c, tr, child.ID, "svc-c")
+		}
+	}
+	g := BuildGraph(c.Spans())
+	if len(g.Services) != 3 {
+		t.Fatalf("services = %v", g.Services)
+	}
+	if len(g.Roots) != 1 || g.Roots[0] != "frontend" {
+		t.Fatalf("roots = %v", g.Roots)
+	}
+	if !g.IsAcyclic() {
+		t.Fatal("chain graph should be acyclic")
+	}
+	out := g.Out("svc-b")
+	if len(out) != 1 || out[0].To != "svc-c" {
+		t.Fatalf("svc-b out = %+v", out)
+	}
+	if out[0].Prob < 0.45 || out[0].Prob > 0.55 {
+		t.Fatalf("edge prob = %v, want 0.5", out[0].Prob)
+	}
+	fe := g.Out("frontend")
+	if len(fe) != 1 || fe[0].Prob != 1 {
+		t.Fatalf("frontend out = %+v", fe)
+	}
+}
+
+func TestGraphCycleDetection(t *testing.T) {
+	g := Graph{
+		Services: []string{"a", "b"},
+		Edges:    []Edge{{From: "a", To: "b"}, {From: "b", To: "a"}},
+	}
+	if g.IsAcyclic() {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestOrphanSpanBecomesRoot(t *testing.T) {
+	c := NewCollector(1)
+	tr := c.StartTrace()
+	c.Record(Span{Trace: tr, ID: c.NextSpanID(), Parent: 9999, Service: "lost"})
+	g := BuildGraph(c.Spans())
+	if len(g.Roots) != 1 || g.Roots[0] != "lost" {
+		t.Fatalf("orphan should be a root: %v", g.Roots)
+	}
+}
+
+func TestTraces(t *testing.T) {
+	c := NewCollector(1)
+	t1 := c.StartTrace()
+	t2 := c.StartTrace()
+	mkSpan(c, t1, 0, "a")
+	mkSpan(c, t1, 0, "b")
+	mkSpan(c, t2, 0, "a")
+	byTrace := c.Traces()
+	if len(byTrace) != 2 || len(byTrace[t1]) != 2 || len(byTrace[t2]) != 1 {
+		t.Fatalf("traces = %v", byTrace)
+	}
+}
+
+func TestSpanDuration(t *testing.T) {
+	s := Span{Start: sim.Millisecond, End: 3 * sim.Millisecond}
+	if s.Duration() != 2*sim.Millisecond {
+		t.Fatalf("duration = %v", s.Duration())
+	}
+}
+
+// Property: reconstruction from any parent-child forest covers every
+// service, keeps edge probabilities in (0, 1], and reconstructs a DAG when
+// child services are strictly "deeper" than their parents (one service per
+// depth level — the shape real layered deployments have).
+func TestBuildGraphLayeredProperty(t *testing.T) {
+	f := func(links []uint8) bool {
+		c := NewCollector(1)
+		tr := c.StartTrace()
+		type rec struct {
+			id    SpanID
+			depth int
+		}
+		var spans []rec
+		services := map[string]bool{}
+		for _, l := range links {
+			parent := SpanID(0)
+			depth := 0
+			if len(spans) > 0 {
+				p := spans[int(l)%len(spans)]
+				parent = p.id
+				depth = p.depth + 1
+			}
+			svc := fmt.Sprintf("svc%d", depth) // one service per depth: layered DAG
+			services[svc] = true
+			s := Span{Trace: tr, ID: c.NextSpanID(), Parent: parent, Service: svc}
+			c.Record(s)
+			spans = append(spans, rec{id: s.ID, depth: depth})
+		}
+		g := BuildGraph(c.Spans())
+		if len(g.Services) != len(services) {
+			return false
+		}
+		for _, e := range g.Edges {
+			if e.Prob <= 0 || e.Calls <= 0 {
+				return false
+			}
+		}
+		return len(spans) == 0 || g.IsAcyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

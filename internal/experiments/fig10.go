@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"io"
+
+	"ditto/internal/app"
+	"ditto/internal/interfere"
+	"ditto/internal/platform"
+	"ditto/internal/synth"
+)
+
+// Fig10Row is one interference scenario's measurement for NGINX (Fig. 10):
+// IPC, p99 latency and per-level cache miss rates, actual vs synthetic.
+type Fig10Row struct {
+	Scenario string
+	Variant  string
+	IPC      float64
+	P99Ms    float64
+	L1iMiss  float64
+	L1dMiss  float64
+	L2Miss   float64
+	LLCMiss  float64
+}
+
+// Fig10Result is the interference study.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// fig10Scenario describes one stressor configuration.
+type fig10Scenario struct {
+	name string
+	opts []platform.Option // platform knobs (HT-sibling stressors)
+	llc  bool              // co-located LLC hammer (iBench)
+	net  bool              // competing network flow (iperf3)
+}
+
+// RunFig10 reproduces Fig. 10: NGINX under hyperthread, L1d, L2, LLC and
+// network-bandwidth interference, original vs its clone. The clone is
+// produced from an interference-free profile — the paper's point is that it
+// inherits interference sensitivity without being profiled under it.
+func RunFig10(w io.Writer, opt Options) Fig10Result {
+	if opt.Windows.Measure == 0 {
+		opt.Windows = DefaultWindows()
+	}
+	header(w, opt, "fig10: scenario variant ipc p99 l1i l1d l2 llc")
+
+	c := appCases(opt.Seed)[1] // nginx
+	capacity := probeCapacity(c, opt.Windows, opt.Seed)
+	load := Load{QPS: 0.5 * capacity, Conns: 16, Seed: opt.Seed}
+	_, spec := Clone(c.build, load, opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+71)
+
+	scenarios := []fig10Scenario{
+		{name: "orig"},
+		{name: "HT", opts: []platform.Option{platform.WithSMTFactor(0.5)}},
+		{name: "L1d", opts: []platform.Option{platform.WithSMTFactor(0.8),
+			platform.WithPrivateCacheScale(0.5, 1)}},
+		{name: "L2", opts: []platform.Option{platform.WithSMTFactor(0.8),
+			platform.WithPrivateCacheScale(1, 0.5)}},
+		{name: "LLC", llc: true},
+		{name: "Net", net: true},
+	}
+
+	var res Fig10Result
+	run := func(sc fig10Scenario, variant string, build func(m *platform.Machine) app.App) {
+		opts := append([]platform.Option{platform.WithCoreCount(6)}, sc.opts...)
+		env := NewEnv(platform.A(), opts...)
+		a := build(env.Server)
+		a.Start()
+		if sc.llc {
+			interfere.StartLLCStressor(env.Server, 4, platform.A().LLCKB<<10)
+		}
+		if sc.net {
+			interfere.StartNetStressor(env.Server, env.Client, 5201, 1<<20)
+		}
+		r := Measure(env, a, load, opt.Windows)
+		env.Shutdown()
+		fr := Fig10Row{Scenario: sc.name, Variant: variant,
+			IPC: r.Metrics.IPC, P99Ms: r.P99Ms,
+			L1iMiss: r.Metrics.L1iMiss, L1dMiss: r.Metrics.L1dMiss,
+			L2Miss: r.Metrics.L2Miss, LLCMiss: r.Metrics.L3Miss}
+		res.Rows = append(res.Rows, fr)
+		if !opt.Quiet {
+			row(w, "fig10: %-5s %-9s ipc=%.3f p99=%.3f l1i=%.4f l1d=%.4f l2=%.4f llc=%.4f",
+				fr.Scenario, fr.Variant, fr.IPC, fr.P99Ms, fr.L1iMiss, fr.L1dMiss,
+				fr.L2Miss, fr.LLCMiss)
+		}
+	}
+
+	for _, sc := range scenarios {
+		run(sc, "actual", c.build)
+		run(sc, "synthetic", func(m *platform.Machine) app.App {
+			return synth.NewServer(m, c.port, spec, opt.Seed+73)
+		})
+	}
+	return res
+}

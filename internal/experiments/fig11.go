@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"io"
+
+	"ditto/internal/app"
+	"ditto/internal/platform"
+	"ditto/internal/synth"
+)
+
+// Fig11Cell is one (cores, frequency) cell of the power-management heatmap:
+// p99 latency and whether the 1ms QoS holds.
+type Fig11Cell struct {
+	Cores   int
+	FreqGHz float64
+	Variant string
+	P99Ms   float64
+	MeetQoS bool
+}
+
+// Fig11Result is the Fig. 11 heatmap for actual and synthetic Memcached.
+type Fig11Result struct {
+	QoSMs float64
+	QPS   float64
+	Cells []Fig11Cell
+}
+
+// RunFig11 reproduces Fig. 11: p99 latency of Memcached (deployed with a
+// 16-worker pool so core scaling matters) across core counts and CPU
+// frequencies, with a 1ms QoS, actual vs synthetic.
+func RunFig11(w io.Writer, opt Options, cores []int, freqs []float64) Fig11Result {
+	if opt.Windows.Measure == 0 {
+		opt.Windows = DefaultWindows()
+	}
+	if len(cores) == 0 {
+		cores = []int{4, 6, 8, 10, 12, 14, 16}
+	}
+	if len(freqs) == 0 {
+		freqs = []float64{1.1, 1.3, 1.5, 1.7, 1.9, 2.1}
+	}
+	const qosMs = 1.0
+
+	build := func(m *platform.Machine) app.App {
+		return app.NewMemcachedN(m, 11211, 16, opt.Seed+81)
+	}
+	// Capacity at the best configuration sets the fixed offered load.
+	envP := NewEnv(platform.A(), platform.WithCoreCount(16), platform.WithFreqGHz(2.1))
+	a := build(envP.Server)
+	a.Start()
+	capRes := Measure(envP, a, Load{Conns: 32, Seed: opt.Seed}, opt.Windows)
+	envP.Shutdown()
+	qps := capRes.Throughput * 0.45
+
+	load := Load{QPS: qps, Conns: 16, Seed: opt.Seed}
+	_, spec := Clone(build, load, opt.Windows, 128<<20, opt.TuneIters, opt.Seed+83)
+
+	header(w, opt, "fig11: cores freq variant p99 meetsQoS (QoS=1ms)")
+	res := Fig11Result{QoSMs: qosMs, QPS: qps}
+	for _, nc := range cores {
+		for _, f := range freqs {
+			for _, variant := range []string{"actual", "synthetic"} {
+				env := NewEnv(platform.A(), platform.WithCoreCount(nc), platform.WithFreqGHz(f))
+				var srv app.App
+				if variant == "actual" {
+					srv = build(env.Server)
+				} else {
+					srv = synth.NewServer(env.Server, 11211, spec, opt.Seed+85)
+				}
+				srv.Start()
+				r := Measure(env, srv, load, opt.Windows)
+				env.Shutdown()
+				cell := Fig11Cell{Cores: nc, FreqGHz: f, Variant: variant,
+					P99Ms: r.P99Ms, MeetQoS: r.P99Ms <= qosMs && r.P99Ms > 0}
+				res.Cells = append(res.Cells, cell)
+				if !opt.Quiet {
+					mark := "ok"
+					if !cell.MeetQoS {
+						mark = "X"
+					}
+					row(w, "fig11: cores=%-2d freq=%.1f %-9s p99=%.3f %s",
+						cell.Cores, cell.FreqGHz, cell.Variant, cell.P99Ms, mark)
+				}
+			}
+		}
+	}
+	return res
+}

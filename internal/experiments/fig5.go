@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ditto/internal/sim"
+
+	"ditto/internal/app"
+	"ditto/internal/platform"
+	"ditto/internal/profile"
+	"ditto/internal/stats"
+	"ditto/internal/synth"
+)
+
+// Fig5Row is one (application, load, variant) measurement of Fig. 5: the
+// CPU metrics, network/disk bandwidth and latency percentiles the paper
+// plots.
+type Fig5Row struct {
+	App     string
+	Load    string
+	Variant string // "actual" or "synthetic"
+	Metrics profile.TargetMetrics
+	NetBW   float64
+	DiskBW  float64
+	AvgMs   float64
+	P95Ms   float64
+	P99Ms   float64
+	Tput    float64
+	TopDown [4]float64
+}
+
+// Fig5Result aggregates the figure plus the §6.2.1 average-error table.
+type Fig5Result struct {
+	Rows      []Fig5Row
+	AvgErrors map[string]float64
+}
+
+// Options sizes an experiment run: short windows for tests, longer with
+// tuning for the benchmark harness.
+type Options struct {
+	Windows   Windows
+	TuneIters int
+	Seed      int64
+	// Apps filters which single-tier apps run (nil = all four).
+	Apps []string
+	// IncludeSocial adds the TextService / SocialGraphService columns.
+	IncludeSocial bool
+	// SocialNodes is the machine count for the social network (default 2).
+	SocialNodes int
+	Quiet       bool
+}
+
+// DefaultOptions returns bench-grade settings.
+func DefaultOptions() Options {
+	return Options{Windows: DefaultWindows(), TuneIters: 4, Seed: 1}
+}
+
+// singleTierApps enumerates the four standalone applications with their
+// builder, profiling/measurement loads and the client generator style the
+// paper uses for each (open loop for Memcached/NGINX, closed loop YCSB for
+// MongoDB/Redis).
+type appCase struct {
+	name   string
+	build  AppBuilder
+	open   bool
+	port   int
+	maxDWS int
+}
+
+func appCases(seed int64) []appCase {
+	return []appCase{
+		{name: "memcached", open: true, port: 11211, maxDWS: 128 << 20,
+			build: func(m *platform.Machine) app.App { return app.NewMemcached(m, 11211, seed+1) }},
+		{name: "nginx", open: true, port: 80, maxDWS: 32 << 20,
+			build: func(m *platform.Machine) app.App { return app.NewNginx(m, 80, seed+2) }},
+		{name: "mongodb", open: false, port: 27017, maxDWS: 256 << 20,
+			build: func(m *platform.Machine) app.App { return app.NewMongoDB(m, 27017, seed+3) }},
+		{name: "redis", open: false, port: 6379, maxDWS: 128 << 20,
+			build: func(m *platform.Machine) app.App { return app.NewRedis(m, 6379, seed+4) }},
+	}
+}
+
+// probeCapacity measures closed-loop saturation throughput for an app so
+// open-loop load levels can be placed relative to it.
+func probeCapacity(c appCase, win Windows, seed int64) float64 {
+	// The probe saturates the server, the most expensive regime to
+	// simulate; a short dedicated window is plenty for a throughput
+	// estimate.
+	probeWin := Windows{Warmup: 8 * sim.Millisecond, Measure: 25 * sim.Millisecond}
+	if win.Measure < probeWin.Measure {
+		probeWin = win
+	}
+	env := NewEnv(platform.A(), platform.WithCoreCount(8))
+	a := c.build(env.Server)
+	a.Start()
+	res := Measure(env, a, Load{Conns: 32, Seed: seed}, probeWin)
+	env.Shutdown()
+	return res.Throughput
+}
+
+// loadLevels builds the low/medium/high loads for one app: fractions of
+// probed capacity for open-loop clients, connection counts for closed-loop
+// ones.
+func loadLevels(c appCase, capacity float64, seed int64) []struct {
+	Name string
+	Load Load
+} {
+	if c.open {
+		return []struct {
+			Name string
+			Load Load
+		}{
+			{"low", Load{QPS: 0.25 * capacity, Conns: 16, Seed: seed}},
+			{"medium", Load{QPS: 0.5 * capacity, Conns: 16, Seed: seed}},
+			{"high", Load{QPS: 0.8 * capacity, Conns: 16, Seed: seed}},
+		}
+	}
+	return []struct {
+		Name string
+		Load Load
+	}{
+		{"low", Load{Conns: 2, Seed: seed}},
+		{"medium", Load{Conns: 8, Seed: seed}},
+		{"high", Load{Conns: 24, Seed: seed}},
+	}
+}
+
+// mediumOf returns the medium (profiling) load.
+func mediumOf(levels []struct {
+	Name string
+	Load Load
+}) Load {
+	return levels[1].Load
+}
+
+// RunFig5 reproduces Fig. 5: CPU performance metrics, network and disk
+// bandwidth, and latency under varying load across the six services, for
+// the original and its Ditto clone. Every app is profiled only at medium
+// load, exactly as in the paper.
+func RunFig5(w io.Writer, opt Options) Fig5Result {
+	if opt.Windows.Measure == 0 {
+		opt.Windows = DefaultWindows()
+	}
+	res := Fig5Result{AvgErrors: map[string]float64{}}
+	errAgg := map[string]*stats.Recorder{}
+	addErr := func(metric string, got, want float64) {
+		r := errAgg[metric]
+		if r == nil {
+			r = &stats.Recorder{}
+			errAgg[metric] = r
+		}
+		r.Add(stats.AbsPctErr(got, want))
+	}
+
+	header(w, opt, "fig5: app load variant ipc branchmiss l1i l1d l2 llc netBW diskBW avg p95 p99 tput")
+
+	apps := appCases(opt.Seed)
+	for _, c := range apps {
+		if len(opt.Apps) > 0 && !contains(opt.Apps, c.name) {
+			continue
+		}
+		capacity := 0.0
+		if c.open {
+			capacity = probeCapacity(c, opt.Windows, opt.Seed)
+		}
+		levels := loadLevels(c, capacity, opt.Seed)
+		med := mediumOf(levels)
+
+		// The complete Ditto pipeline, profiled at medium load only.
+		_, spec := Clone(c.build, med, opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+17)
+
+		for _, lv := range levels {
+			envO := NewEnv(platform.A(), platform.WithCoreCount(8))
+			orig := c.build(envO.Server)
+			orig.Start()
+			ro := Measure(envO, orig, lv.Load, opt.Windows)
+			envO.Shutdown()
+
+			envS := NewEnv(platform.A(), platform.WithCoreCount(8))
+			sv := synth.NewServer(envS.Server, c.port, spec, opt.Seed+31)
+			sv.Start()
+			rs := Measure(envS, sv, lv.Load, opt.Windows)
+			envS.Shutdown()
+
+			res.Rows = append(res.Rows,
+				fig5Row(c.name, lv.Name, "actual", ro),
+				fig5Row(c.name, lv.Name, "synthetic", rs))
+			emitFig5(w, opt, res.Rows[len(res.Rows)-2:])
+			accumulateErrors(addErr, ro, rs)
+		}
+	}
+
+	if opt.IncludeSocial {
+		for _, r := range socialTierRows(w, opt, addErr) {
+			res.Rows = append(res.Rows, r)
+		}
+	}
+
+	for metric, rec := range errAgg {
+		res.AvgErrors[metric] = rec.Mean()
+	}
+	if !opt.Quiet {
+		row(w, "fig5-errors: %s", formatErrors(res.AvgErrors))
+	}
+	return res
+}
+
+// socialTierRows measures TextService and SocialGraphService, actual vs
+// synthetic, inside full social-network deployments at three loads.
+func socialTierRows(w io.Writer, opt Options, addErr func(string, float64, float64)) []Fig5Row {
+	nodes := opt.SocialNodes
+	if nodes <= 0 {
+		nodes = 2
+	}
+	tiers := []string{"text-service", "social-graph-service"}
+	loads := []struct {
+		Name string
+		Load Load
+	}{
+		{"low", Load{QPS: 150, Conns: 12, Mix: SNMix(), Seed: opt.Seed}},
+		{"medium", Load{QPS: 400, Conns: 12, Mix: SNMix(), Seed: opt.Seed}},
+		{"high", Load{QPS: 800, Conns: 12, Mix: SNMix(), Seed: opt.Seed}},
+	}
+	snWin := socialWindows(opt.Windows)
+	clone := CloneSN(platform.A(), nodes, 8, loads[1].Load, snWin, opt.Seed+5)
+
+	var rows []Fig5Row
+	for _, lv := range loads {
+		dO := NewOriginalSN(platform.A(), nodes, 8, opt.Seed+5)
+		_, perO := MeasureSN(dO, lv.Load, snWin, tiers)
+		dO.Env.Shutdown()
+
+		dS := NewSynthSN(clone, platform.A(), nodes, 8, opt.Seed+6)
+		_, perS := MeasureSN(dS, lv.Load, snWin, tiers)
+		dS.Env.Shutdown()
+
+		for _, tn := range tiers {
+			ro, rs := perO[tn], perS[tn]
+			rows = append(rows,
+				fig5Row(tn, lv.Name, "actual", ro),
+				fig5Row(tn, lv.Name, "synthetic", rs))
+			emitFig5(w, opt, rows[len(rows)-2:])
+			accumulateErrors(addErr, ro, rs)
+		}
+	}
+	return rows
+}
+
+func fig5Row(name, load, variant string, r Result) Fig5Row {
+	return Fig5Row{App: name, Load: load, Variant: variant, Metrics: r.Metrics,
+		NetBW: r.NetBW, DiskBW: r.DiskBW, AvgMs: r.AvgMs, P95Ms: r.P95Ms,
+		P99Ms: r.P99Ms, Tput: r.Throughput, TopDown: r.TopDown}
+}
+
+func accumulateErrors(addErr func(string, float64, float64), ro, rs Result) {
+	addErr("ipc", rs.Metrics.IPC, ro.Metrics.IPC)
+	addErr("branch", rs.Metrics.BranchMiss, ro.Metrics.BranchMiss)
+	addErr("l1i", rs.Metrics.L1iMiss, ro.Metrics.L1iMiss)
+	addErr("l1d", rs.Metrics.L1dMiss, ro.Metrics.L1dMiss)
+	addErr("l2", rs.Metrics.L2Miss, ro.Metrics.L2Miss)
+	addErr("llc", rs.Metrics.L3Miss, ro.Metrics.L3Miss)
+	if ro.NetBW > 0 {
+		addErr("netbw", rs.NetBW/maxF(rs.Throughput, 1), ro.NetBW/maxF(ro.Throughput, 1))
+	}
+	if ro.DiskBW > 0 {
+		addErr("diskbw", rs.DiskBW/maxF(rs.Throughput, 1), ro.DiskBW/maxF(ro.Throughput, 1))
+	}
+}
+
+func emitFig5(w io.Writer, opt Options, rows []Fig5Row) {
+	if opt.Quiet {
+		return
+	}
+	for _, r := range rows {
+		row(w, "fig5: %-20s %-6s %-9s ipc=%.3f br=%.4f l1i=%.4f l1d=%.4f l2=%.4f llc=%.4f net=%.3e disk=%.3e avg=%.3f p95=%.3f p99=%.3f tput=%.0f",
+			r.App, r.Load, r.Variant, r.Metrics.IPC, r.Metrics.BranchMiss,
+			r.Metrics.L1iMiss, r.Metrics.L1dMiss, r.Metrics.L2Miss, r.Metrics.L3Miss,
+			r.NetBW, r.DiskBW, r.AvgMs, r.P95Ms, r.P99Ms, r.Tput)
+	}
+}
+
+func formatErrors(errs map[string]float64) string {
+	keys := []string{"ipc", "branch", "l1i", "l1d", "l2", "llc", "netbw", "diskbw"}
+	s := ""
+	for _, k := range keys {
+		if v, ok := errs[k]; ok {
+			s += fmt.Sprintf("%s=%.1f%% ", k, v)
+		}
+	}
+	return s
+}
+
+func header(w io.Writer, opt Options, text string) {
+	if !opt.Quiet {
+		row(w, "# %s", text)
+	}
+}
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"io"
+
+	"ditto/internal/platform"
+)
+
+// Fig6Point is one QPS level of the Social Network end-to-end latency
+// comparison, original vs fully synthetic (every tier replaced).
+type Fig6Point struct {
+	QPS     float64
+	Variant string
+	P50Ms   float64
+	P95Ms   float64
+	P99Ms   float64
+	Tput    float64
+}
+
+// Fig6Result is the Fig. 6 series.
+type Fig6Result struct {
+	Points []Fig6Point
+}
+
+// RunFig6 reproduces Fig. 6: end-to-end latency of the original Social
+// Network versus the deployment where every individual microservice is
+// replaced by its Ditto clone, across a QPS sweep.
+func RunFig6(w io.Writer, opt Options, qpsLevels []float64) Fig6Result {
+	if opt.Windows.Measure == 0 {
+		opt.Windows = DefaultWindows()
+	}
+	opt.Windows = socialWindows(opt.Windows)
+	if len(qpsLevels) == 0 {
+		qpsLevels = []float64{200, 500, 1000, 1500, 2000}
+	}
+	nodes := opt.SocialNodes
+	if nodes <= 0 {
+		nodes = 2
+	}
+	header(w, opt, "fig6: qps variant p50 p95 p99 tput")
+
+	profLoad := Load{QPS: qpsLevels[len(qpsLevels)/2], Conns: 16, Mix: SNMix(), Seed: opt.Seed}
+	clone := CloneSN(platform.A(), nodes, 8, profLoad, opt.Windows, opt.Seed+11)
+
+	var res Fig6Result
+	for _, qps := range qpsLevels {
+		load := Load{QPS: qps, Conns: 16, Mix: SNMix(), Seed: opt.Seed}
+
+		dO := NewOriginalSN(platform.A(), nodes, 8, opt.Seed+11)
+		e2eO, _ := MeasureSN(dO, load, opt.Windows, nil)
+		dO.Env.Shutdown()
+
+		dS := NewSynthSN(clone, platform.A(), nodes, 8, opt.Seed+12)
+		e2eS, _ := MeasureSN(dS, load, opt.Windows, nil)
+		dS.Env.Shutdown()
+
+		for _, pt := range []Fig6Point{
+			{QPS: qps, Variant: "actual", P50Ms: e2eO.P50Ms, P95Ms: e2eO.P95Ms, P99Ms: e2eO.P99Ms, Tput: e2eO.Throughput},
+			{QPS: qps, Variant: "synthetic", P50Ms: e2eS.P50Ms, P95Ms: e2eS.P95Ms, P99Ms: e2eS.P99Ms, Tput: e2eS.Throughput},
+		} {
+			res.Points = append(res.Points, pt)
+			if !opt.Quiet {
+				row(w, "fig6: qps=%-6.0f %-9s p50=%.3f p95=%.3f p99=%.3f tput=%.0f",
+					pt.QPS, pt.Variant, pt.P50Ms, pt.P95Ms, pt.P99Ms, pt.Tput)
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"io"
+
+	"ditto/internal/platform"
+	"ditto/internal/profile"
+	"ditto/internal/synth"
+)
+
+// Fig7Row is one (app, platform, variant) measurement of the
+// cross-platform validation: profiles are collected on Platform A only and
+// the same synthetic binary runs unmodified on B and C, as §6.2.2 requires.
+type Fig7Row struct {
+	App      string
+	Platform string
+	Variant  string
+	Metrics  profile.TargetMetrics
+	NetBW    float64
+	DiskBW   float64
+	AvgMs    float64
+	P99Ms    float64
+}
+
+// Fig7Result is the Fig. 7 table.
+type Fig7Result struct {
+	Rows []Fig7Row
+}
+
+// fig7CoreCount picks a comparable core allocation per platform.
+func fig7CoreCount(spec platform.Spec) int {
+	if spec.Cores < 8 {
+		return spec.Cores
+	}
+	return 8
+}
+
+// RunFig7 reproduces Fig. 7: each app is cloned from a Platform A profile,
+// then original and synthetic run side by side on Platforms A, B and C
+// without reprofiling.
+func RunFig7(w io.Writer, opt Options) Fig7Result {
+	if opt.Windows.Measure == 0 {
+		opt.Windows = DefaultWindows()
+	}
+	header(w, opt, "fig7: app platform variant ipc branchmiss l1i l1d l2 llc netBW diskBW avg p99")
+	platforms := []platform.Spec{platform.A(), platform.B(), platform.C()}
+
+	var res Fig7Result
+	for _, c := range appCases(opt.Seed) {
+		if len(opt.Apps) > 0 && !contains(opt.Apps, c.name) {
+			continue
+		}
+		capacity := 0.0
+		if c.open {
+			capacity = probeCapacity(c, opt.Windows, opt.Seed)
+		}
+		med := mediumOf(loadLevels(c, capacity, opt.Seed))
+		_, spec := Clone(c.build, med, opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+23)
+
+		for _, plat := range platforms {
+			cores := fig7CoreCount(plat)
+			load := med
+			if c.open {
+				// Keep offered load sustainable on the weakest platform.
+				load.QPS = capacity * 0.3
+			}
+
+			envO := NewEnv(plat, platform.WithCoreCount(cores))
+			orig := c.build(envO.Server)
+			orig.Start()
+			ro := Measure(envO, orig, load, opt.Windows)
+			envO.Shutdown()
+
+			envS := NewEnv(plat, platform.WithCoreCount(cores))
+			sv := synth.NewServer(envS.Server, c.port, spec, opt.Seed+29)
+			sv.Start()
+			rs := Measure(envS, sv, load, opt.Windows)
+			envS.Shutdown()
+
+			for _, pair := range []struct {
+				variant string
+				r       Result
+			}{{"actual", ro}, {"synthetic", rs}} {
+				fr := Fig7Row{App: c.name, Platform: plat.Name, Variant: pair.variant,
+					Metrics: pair.r.Metrics, NetBW: pair.r.NetBW, DiskBW: pair.r.DiskBW,
+					AvgMs: pair.r.AvgMs, P99Ms: pair.r.P99Ms}
+				res.Rows = append(res.Rows, fr)
+				emitFig7(w, opt, fr)
+			}
+		}
+	}
+	if opt.IncludeSocial {
+		res.Rows = append(res.Rows, fig7SocialRows(w, opt)...)
+	}
+	return res
+}
+
+// fig7SocialRows runs the TextService / SocialGraphService columns: cloned
+// on Platform A (two nodes), then both deployments re-run on the
+// small-scale Platform C where every tier is colocated on one four-core
+// box — the configuration the paper highlights for its high LLC
+// interference.
+func fig7SocialRows(w io.Writer, opt Options) []Fig7Row {
+	tiers := []string{"text-service", "social-graph-service"}
+	load := Load{QPS: 300, Conns: 12, Mix: SNMix(), Seed: opt.Seed}
+	snWin := socialWindows(opt.Windows)
+	clone := CloneSN(platform.A(), 2, 8, load, snWin, opt.Seed+53)
+
+	var rows []Fig7Row
+	deploy := []struct {
+		spec  platform.Spec
+		nodes int
+		cores int
+	}{
+		{platform.A(), 2, 8},
+		{platform.C(), 1, 4},
+	}
+	for _, d := range deploy {
+		dO := NewOriginalSN(d.spec, d.nodes, d.cores, opt.Seed+53)
+		_, perO := MeasureSN(dO, load, snWin, tiers)
+		dO.Env.Shutdown()
+		dS := NewSynthSN(clone, d.spec, d.nodes, d.cores, opt.Seed+54)
+		_, perS := MeasureSN(dS, load, snWin, tiers)
+		dS.Env.Shutdown()
+		for _, tn := range tiers {
+			for _, pair := range []struct {
+				variant string
+				r       Result
+			}{{"actual", perO[tn]}, {"synthetic", perS[tn]}} {
+				fr := Fig7Row{App: tn, Platform: d.spec.Name, Variant: pair.variant,
+					Metrics: pair.r.Metrics, NetBW: pair.r.NetBW, DiskBW: pair.r.DiskBW}
+				rows = append(rows, fr)
+				emitFig7(w, opt, fr)
+			}
+		}
+	}
+	return rows
+}
+
+func emitFig7(w io.Writer, opt Options, fr Fig7Row) {
+	if opt.Quiet {
+		return
+	}
+	row(w, "fig7: %-20s %-2s %-9s ipc=%.3f br=%.4f l1i=%.4f l1d=%.4f l2=%.4f llc=%.4f net=%.3e disk=%.3e avg=%.3f p99=%.3f",
+		fr.App, fr.Platform, fr.Variant, fr.Metrics.IPC, fr.Metrics.BranchMiss,
+		fr.Metrics.L1iMiss, fr.Metrics.L1dMiss, fr.Metrics.L2Miss,
+		fr.Metrics.L3Miss, fr.NetBW, fr.DiskBW, fr.AvgMs, fr.P99Ms)
+}

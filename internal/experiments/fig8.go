@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"io"
+
+	"ditto/internal/platform"
+	"ditto/internal/synth"
+)
+
+// Fig8Row is one app × variant top-down CPI breakdown (retiring /
+// front-end / bad speculation / back-end), scaled to CPI as in Fig. 8.
+type Fig8Row struct {
+	App      string
+	Variant  string
+	CPI      float64
+	Retiring float64
+	Frontend float64
+	BadSpec  float64
+	Backend  float64
+}
+
+// Fig8Result is the Fig. 8 dataset.
+type Fig8Result struct {
+	Rows []Fig8Row
+}
+
+// fig8Row converts a measurement's top-down fractions to CPI components.
+func fig8Row(name, variant string, r Result) Fig8Row {
+	cpi := r.Counters.CPI()
+	return Fig8Row{App: name, Variant: variant, CPI: cpi,
+		Retiring: r.TopDown[0] * cpi, Frontend: r.TopDown[1] * cpi,
+		BadSpec: r.TopDown[2] * cpi, Backend: r.TopDown[3] * cpi}
+}
+
+// RunFig8 reproduces Fig. 8: the cycles-per-instruction top-down analysis
+// of original vs synthetic at medium load for the four standalone apps plus
+// the two highlighted Social Network tiers.
+func RunFig8(w io.Writer, opt Options) Fig8Result {
+	if opt.Windows.Measure == 0 {
+		opt.Windows = DefaultWindows()
+	}
+	header(w, opt, "fig8: app variant cpi retiring frontend badspec backend")
+	var res Fig8Result
+	emit := func(fr Fig8Row) {
+		res.Rows = append(res.Rows, fr)
+		if !opt.Quiet {
+			row(w, "fig8: %-20s %-9s cpi=%.3f ret=%.3f fe=%.3f bad=%.3f be=%.3f",
+				fr.App, fr.Variant, fr.CPI, fr.Retiring, fr.Frontend, fr.BadSpec, fr.Backend)
+		}
+	}
+
+	for _, c := range appCases(opt.Seed) {
+		if len(opt.Apps) > 0 && !contains(opt.Apps, c.name) {
+			continue
+		}
+		capacity := 0.0
+		if c.open {
+			capacity = probeCapacity(c, opt.Windows, opt.Seed)
+		}
+		med := mediumOf(loadLevels(c, capacity, opt.Seed))
+		_, spec := Clone(c.build, med, opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+41)
+
+		envO := NewEnv(platform.A(), platform.WithCoreCount(8))
+		orig := c.build(envO.Server)
+		orig.Start()
+		ro := Measure(envO, orig, med, opt.Windows)
+		envO.Shutdown()
+		emit(fig8Row(c.name, "actual", ro))
+
+		envS := NewEnv(platform.A(), platform.WithCoreCount(8))
+		sv := synth.NewServer(envS.Server, c.port, spec, opt.Seed+43)
+		sv.Start()
+		rs := Measure(envS, sv, med, opt.Windows)
+		envS.Shutdown()
+		emit(fig8Row(c.name, "synthetic", rs))
+	}
+
+	if opt.IncludeSocial {
+		nodes := opt.SocialNodes
+		if nodes <= 0 {
+			nodes = 2
+		}
+		tiers := []string{"text-service", "social-graph-service"}
+		load := Load{QPS: 400, Conns: 12, Mix: SNMix(), Seed: opt.Seed}
+		snWin := socialWindows(opt.Windows)
+		clone := CloneSN(platform.A(), nodes, 8, load, snWin, opt.Seed+47)
+
+		dO := NewOriginalSN(platform.A(), nodes, 8, opt.Seed+47)
+		_, perO := MeasureSN(dO, load, snWin, tiers)
+		dO.Env.Shutdown()
+		dS := NewSynthSN(clone, platform.A(), nodes, 8, opt.Seed+48)
+		_, perS := MeasureSN(dS, load, snWin, tiers)
+		dS.Env.Shutdown()
+		for _, tn := range tiers {
+			emit(fig8Row(tn, "actual", perO[tn]))
+			emit(fig8Row(tn, "synthetic", perS[tn]))
+		}
+	}
+	return res
+}

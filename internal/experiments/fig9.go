@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"io"
+
+	"ditto/internal/core"
+	"ditto/internal/platform"
+	"ditto/internal/synth"
+)
+
+// Fig9Row is one decomposition stage's measurement for MongoDB: how IPC,
+// instruction count, cycles and p99 evolve as Ditto's features are enabled
+// one by one (Fig. 9).
+type Fig9Row struct {
+	Stage  string
+	IPC    float64
+	Instrs float64 // per request
+	Cycles float64 // per request
+	P99Ms  float64
+}
+
+// Fig9Result carries the staged rows plus the original's target line.
+type Fig9Result struct {
+	Target Fig9Row
+	Rows   []Fig9Row
+}
+
+// RunFig9 reproduces Fig. 9: the accuracy decomposition on MongoDB. Stages
+// A–H are generated with increasing sophistication; stage I adds fine
+// tuning.
+func RunFig9(w io.Writer, opt Options) Fig9Result {
+	if opt.Windows.Measure == 0 {
+		opt.Windows = DefaultWindows()
+	}
+	c := appCases(opt.Seed)[2] // mongodb
+	load := Load{Conns: 8, Seed: opt.Seed}
+	prof := ProfileRun(c.build, load, opt.Windows, c.maxDWS)
+
+	header(w, opt, "fig9: stage ipc instrs cycles p99 (target from actual MongoDB)")
+
+	envT := NewEnv(platform.A(), platform.WithCoreCount(8))
+	orig := c.build(envT.Server)
+	orig.Start()
+	rt := Measure(envT, orig, load, opt.Windows)
+	envT.Shutdown()
+	res := Fig9Result{Target: fig9Of("target", rt, opt.Windows)}
+	if !opt.Quiet {
+		row(w, "fig9: %-11s ipc=%.3f instrs/req=%.0f cycles/req=%.0f p99=%.3f",
+			"target", res.Target.IPC, res.Target.Instrs, res.Target.Cycles, res.Target.P99Ms)
+	}
+
+	measure := func(spec *core.SynthSpec, name string) {
+		env := NewEnv(platform.A(), platform.WithCoreCount(8))
+		sv := synth.NewServer(env.Server, c.port, spec, opt.Seed+61)
+		sv.Start()
+		r := Measure(env, sv, load, opt.Windows)
+		env.Shutdown()
+		fr := fig9Of(name, r, opt.Windows)
+		res.Rows = append(res.Rows, fr)
+		if !opt.Quiet {
+			row(w, "fig9: %-11s ipc=%.3f instrs/req=%.0f cycles/req=%.0f p99=%.3f",
+				fr.Stage, fr.IPC, fr.Instrs, fr.Cycles, fr.P99Ms)
+		}
+	}
+
+	for st := core.StageSkeleton; st < core.StageTune; st++ {
+		measure(core.GenerateStaged(prof, st, opt.Seed+60), st.String())
+	}
+	iters := opt.TuneIters
+	if iters <= 0 {
+		iters = 3
+	}
+	tuned, _ := core.FineTune(prof, opt.Seed+60, SynthRunner(load, opt.Windows), iters, 0.05)
+	measure(tuned, core.StageTune.String())
+	return res
+}
+
+// fig9Of normalizes a measurement to per-request quantities: the staged
+// clones serve very different request counts under a closed loop, so totals
+// are not comparable but per-request instructions and cycles are.
+func fig9Of(name string, r Result, win Windows) Fig9Row {
+	reqs := r.Throughput * win.Measure.Seconds()
+	if reqs < 1 {
+		reqs = 1
+	}
+	return Fig9Row{Stage: name, IPC: r.Metrics.IPC,
+		Instrs: float64(r.Counters.Instrs) / reqs,
+		Cycles: r.Counters.Cycles / reqs, P99Ms: r.P99Ms}
+}

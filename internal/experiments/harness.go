@@ -1,0 +1,255 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§6): shared measurement harness plus one Run function per
+// artifact, each printing the same rows/series the paper reports. The cmd/
+// dittobench binary and the repository's benchmarks call into this package.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"ditto/internal/app"
+	"ditto/internal/core"
+	"ditto/internal/cpu"
+	"ditto/internal/kernel"
+	"ditto/internal/loadgen"
+	"ditto/internal/platform"
+	"ditto/internal/profile"
+	"ditto/internal/sim"
+	"ditto/internal/synth"
+)
+
+// Env is one self-contained simulation environment: a server machine and a
+// client machine joined by a cluster fabric, on a fresh engine.
+type Env struct {
+	Eng     *sim.Engine
+	Cluster *platform.Cluster
+	Server  *platform.Machine
+	Client  *platform.Machine
+	extra   []*platform.Machine
+}
+
+// NewEnv builds an environment on the given server platform. Client runs on
+// a generously sized Platform A box so it never bottlenecks.
+func NewEnv(spec platform.Spec, serverOpts ...platform.Option) *Env {
+	eng := sim.NewEngine()
+	cl := platform.NewCluster(eng, 100*sim.Microsecond)
+	srv := platform.NewMachine(eng, "server", spec, serverOpts...)
+	cli := platform.NewMachine(eng, "client", platform.A(), platform.WithCoreCount(16))
+	cl.Add(srv)
+	cl.Add(cli)
+	return &Env{Eng: eng, Cluster: cl, Server: srv, Client: cli}
+}
+
+// AddMachine attaches another server machine to the environment (multi-node
+// microservice deployments).
+func (e *Env) AddMachine(name string, spec platform.Spec, opts ...platform.Option) *platform.Machine {
+	m := platform.NewMachine(e.Eng, name, spec, opts...)
+	e.Cluster.Add(m)
+	e.extra = append(e.extra, m)
+	return m
+}
+
+// Shutdown stops every kernel and drains the engine, releasing thread
+// goroutines.
+func (e *Env) Shutdown() {
+	e.Server.Kernel.Stop()
+	e.Client.Kernel.Stop()
+	for _, m := range e.extra {
+		m.Kernel.Stop()
+	}
+	e.Eng.Run()
+}
+
+// Load describes one measurement's load configuration.
+type Load struct {
+	QPS   float64 // 0 = closed loop
+	Conns int
+	Mix   []loadgen.MixEntry
+	Seed  int64
+}
+
+// Windows controls warmup and measurement durations.
+type Windows struct {
+	Warmup  sim.Time
+	Measure sim.Time
+}
+
+// DefaultWindows is sized so that every app completes hundreds to thousands
+// of requests per measurement.
+func DefaultWindows() Windows {
+	return Windows{Warmup: 40 * sim.Millisecond, Measure: 160 * sim.Millisecond}
+}
+
+// Result is one measured run.
+type Result struct {
+	Counters   cpu.Counters
+	Metrics    profile.TargetMetrics
+	TopDown    [4]float64 // retiring, frontend, badspec, backend (fractions of cycles)
+	AvgMs      float64
+	P50Ms      float64
+	P95Ms      float64
+	P99Ms      float64
+	Throughput float64 // completed requests per second
+	NetBW      float64 // server bytes/s (tx+rx)
+	DiskBW     float64 // server disk bytes/s (read+write)
+}
+
+// snapshot captures the per-proc counters needed for deltas.
+type snapshot struct {
+	ctr   cpu.Counters
+	tx    uint64
+	rx    uint64
+	disk  uint64
+	diskW uint64
+}
+
+func snap(p *kernel.Proc) snapshot {
+	return snapshot{ctr: p.Counters, tx: p.NetTxBytes, rx: p.NetRxBytes,
+		disk: p.DiskReadBytes, diskW: p.DiskWritten}
+}
+
+// deltaCounters subtracts counter snapshots.
+func deltaCounters(now, base cpu.Counters) cpu.Counters {
+	d := now
+	d.Instrs -= base.Instrs
+	d.KernelInstrs -= base.KernelInstrs
+	d.Uops -= base.Uops
+	d.Cycles -= base.Cycles
+	d.Branches -= base.Branches
+	d.Mispred -= base.Mispred
+	d.L1iAcc -= base.L1iAcc
+	d.L1iMiss -= base.L1iMiss
+	d.L1dAcc -= base.L1dAcc
+	d.L1dMiss -= base.L1dMiss
+	d.L2Acc -= base.L2Acc
+	d.L2Miss -= base.L2Miss
+	d.L3Acc -= base.L3Acc
+	d.L3Miss -= base.L3Miss
+	d.MemAcc -= base.MemAcc
+	d.LoadBytes -= base.LoadBytes
+	d.StoreBytes -= base.StoreBytes
+	d.Retiring -= base.Retiring
+	d.Frontend -= base.Frontend
+	d.BadSpec -= base.BadSpec
+	d.Backend -= base.Backend
+	return d
+}
+
+// metricsOf converts counters to the calibrated metric vector.
+func metricsOf(c cpu.Counters) profile.TargetMetrics {
+	return profile.TargetMetrics{
+		IPC:         c.IPC(),
+		BranchMiss:  c.BranchMissRate(),
+		L1iMiss:     c.L1iMissRate(),
+		L1dMiss:     c.L1dMissRate(),
+		L2Miss:      c.L2MissRate(),
+		L3Miss:      c.L3MissRate(),
+		KernelShare: c.KernelShare(),
+	}
+}
+
+// Measure drives app a (already started on env.Server) with the given load
+// and returns a Result measured over the post-warmup window.
+func Measure(env *Env, a app.App, load Load, win Windows) Result {
+	g := loadgen.New(loadgen.Config{
+		Name: "lg", Machine: env.Client, Target: a.Machine().Kernel,
+		Port: a.Port(), Conns: load.Conns, QPS: load.QPS,
+		Mix: load.Mix, Seed: load.Seed,
+	})
+	g.Start()
+	env.Eng.RunFor(win.Warmup)
+	g.Reset()
+	before := snap(a.Proc())
+	start := env.Eng.Now()
+	env.Eng.RunFor(win.Measure)
+	dur := (env.Eng.Now() - start).Seconds()
+	after := snap(a.Proc())
+
+	ctr := deltaCounters(after.ctr, before.ctr)
+	lat := g.Latency()
+	res := Result{
+		Counters:   ctr,
+		Metrics:    metricsOf(ctr),
+		AvgMs:      lat.Mean(),
+		P50Ms:      lat.Percentile(50),
+		P95Ms:      lat.Percentile(95),
+		P99Ms:      lat.Percentile(99),
+		Throughput: float64(g.Received()) / dur,
+		NetBW:      float64(after.tx-before.tx+after.rx-before.rx) / dur,
+		DiskBW:     float64(after.disk-before.disk+after.diskW-before.diskW) / dur,
+	}
+	if ctr.Cycles > 0 {
+		res.TopDown = [4]float64{
+			ctr.Retiring / ctr.Cycles,
+			ctr.Frontend / ctr.Cycles,
+			ctr.BadSpec / ctr.Cycles,
+			ctr.Backend / ctr.Cycles,
+		}
+	}
+	return res
+}
+
+// socialWindows stretches the measurement window for social-network runs:
+// their QPS is low (so tails need more samples) while their simulation cost
+// per simulated second is far below a saturated single-tier server's.
+func socialWindows(w Windows) Windows {
+	w.Measure *= 3
+	return w
+}
+
+// AppBuilder constructs an application on a machine.
+type AppBuilder func(m *platform.Machine) app.App
+
+// ProfileRun executes a dedicated profiling run of the original application
+// on Platform A under the given load and returns its AppProfile — the
+// paper's "profile once at medium load".
+func ProfileRun(build AppBuilder, load Load, win Windows, maxDataWS int) *profile.AppProfile {
+	env := NewEnv(platform.A(), platform.WithCoreCount(8))
+	a := build(env.Server)
+	a.Start()
+	p := profile.NewProfiler(a.Name())
+	if maxDataWS > 0 {
+		p.MaxDataWS = maxDataWS
+	}
+	p.Attach(a.Proc())
+	g := loadgen.New(loadgen.Config{
+		Name: "lg", Machine: env.Client, Target: env.Server.Kernel,
+		Port: a.Port(), Conns: load.Conns, QPS: load.QPS, Mix: load.Mix,
+		Seed: load.Seed,
+	})
+	g.Start()
+	env.Eng.RunFor(win.Warmup + win.Measure)
+	prof := p.Finish()
+	env.Shutdown()
+	return prof
+}
+
+// SynthRunner returns a core.Runner that measures candidate specs on
+// Platform A under the reference load — the fine-tuner's measurement arm.
+func SynthRunner(load Load, win Windows) core.Runner {
+	return func(spec *core.SynthSpec) profile.TargetMetrics {
+		env := NewEnv(platform.A(), platform.WithCoreCount(8))
+		s := synth.NewServer(env.Server, 9100, spec, load.Seed+99)
+		s.Start()
+		res := Measure(env, s, load, win)
+		env.Shutdown()
+		return res.Metrics
+	}
+}
+
+// Clone profiles the original app, generates a synthetic spec, and
+// fine-tunes it (§4.5) — the complete Ditto pipeline for a single-tier app.
+func Clone(build AppBuilder, load Load, win Windows, maxDataWS int, tuneIters int, seed int64) (*profile.AppProfile, *core.SynthSpec) {
+	prof := ProfileRun(build, load, win, maxDataWS)
+	if tuneIters <= 0 {
+		return prof, core.Generate(prof, seed)
+	}
+	spec, _ := core.FineTune(prof, seed, SynthRunner(load, win), tuneIters, 0.05)
+	return prof, spec
+}
+
+// row prints one aligned data row.
+func row(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format+"\n", args...)
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+
+	"ditto/internal/cpu"
+)
+
+func TestDeltaCounters(t *testing.T) {
+	base := cpu.Counters{Instrs: 100, Cycles: 200, L1dAcc: 50, L1dMiss: 5,
+		Branches: 10, Mispred: 1, Retiring: 80, Backend: 60}
+	now := cpu.Counters{Instrs: 300, Cycles: 500, L1dAcc: 150, L1dMiss: 30,
+		Branches: 40, Mispred: 5, Retiring: 200, Backend: 160}
+	d := deltaCounters(now, base)
+	if d.Instrs != 200 || d.Cycles != 300 || d.L1dAcc != 100 || d.L1dMiss != 25 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if d.Retiring != 120 || d.Backend != 100 {
+		t.Fatalf("top-down delta = %+v", d)
+	}
+	m := metricsOf(d)
+	if m.IPC != 200.0/300.0 {
+		t.Fatalf("IPC = %v", m.IPC)
+	}
+	if m.L1dMiss != 0.25 {
+		t.Fatalf("L1dMiss = %v", m.L1dMiss)
+	}
+	if m.BranchMiss != (5.0-1.0)/(40.0-10.0) {
+		t.Fatalf("BranchMiss = %v", m.BranchMiss)
+	}
+}
+
+func TestLoadLevelsShape(t *testing.T) {
+	open := appCases(1)[0] // memcached, open loop
+	lv := loadLevels(open, 10000, 1)
+	if len(lv) != 3 || lv[0].Name != "low" || lv[2].Name != "high" {
+		t.Fatalf("levels = %+v", lv)
+	}
+	if !(lv[0].Load.QPS < lv[1].Load.QPS && lv[1].Load.QPS < lv[2].Load.QPS) {
+		t.Fatal("open-loop QPS must be increasing")
+	}
+	if mediumOf(lv).QPS != lv[1].Load.QPS {
+		t.Fatal("mediumOf should return the middle level")
+	}
+	closed := appCases(1)[3] // redis, closed loop
+	cl := loadLevels(closed, 0, 1)
+	if !(cl[0].Load.Conns < cl[1].Load.Conns && cl[1].Load.Conns < cl[2].Load.Conns) {
+		t.Fatal("closed-loop connection counts must be increasing")
+	}
+	if cl[0].Load.QPS != 0 {
+		t.Fatal("closed loop must not set QPS")
+	}
+}
+
+func TestAppCasesComplete(t *testing.T) {
+	cases := appCases(1)
+	names := map[string]bool{}
+	for _, c := range cases {
+		names[c.name] = true
+		if c.build == nil || c.port == 0 || c.maxDWS == 0 {
+			t.Fatalf("incomplete case %+v", c.name)
+		}
+	}
+	for _, want := range []string{"memcached", "nginx", "mongodb", "redis"} {
+		if !names[want] {
+			t.Fatalf("missing app %s", want)
+		}
+	}
+}
+
+func TestContainsAndMaxF(t *testing.T) {
+	if !contains([]string{"a", "b"}, "b") || contains([]string{"a"}, "z") {
+		t.Fatal("contains broken")
+	}
+	if maxF(1, 2) != 2 || maxF(3, 2) != 3 {
+		t.Fatal("maxF broken")
+	}
+}
+
+func TestSNMixWeights(t *testing.T) {
+	mix := SNMix()
+	var sum float64
+	for _, m := range mix {
+		sum += m.Weight
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("mix weights sum to %v", sum)
+	}
+	// Read-home-timeline dominates, as in the paper's workload.
+	if mix[1].Weight < mix[0].Weight || mix[1].Weight < mix[2].Weight {
+		t.Fatalf("mix = %+v", mix)
+	}
+}

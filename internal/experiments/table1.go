@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"io"
+
+	"ditto/internal/platform"
+)
+
+// RunTable1 prints the Table 1 platform inventory as encoded in the
+// platform package, so the reproduction's hardware assumptions are
+// auditable alongside the paper's.
+func RunTable1(w io.Writer) []platform.Spec {
+	specs := []platform.Spec{platform.A(), platform.B(), platform.C()}
+	row(w, "# table1: platform cpu freqGHz cores L1iKB/L1dKB L2KB LLCKB memGBps disk nic")
+	for _, s := range specs {
+		disk := "SSD"
+		if s.Disk.Class != 0 {
+			disk = "HDD"
+		}
+		row(w, "table1: %-2s %-8s %.2f %2d %d/%d %4d %5d %5.0f %s %.0fGbe",
+			s.Name, s.Arch.Name, s.FreqGHz, s.Cores, s.L1iKB, s.L1dKB,
+			s.L2KB, s.LLCKB, s.MemBWGBps, disk, s.NICGbps)
+	}
+	return specs
+}

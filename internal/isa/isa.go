@@ -1,0 +1,213 @@
+// Package isa defines the synthetic instruction set the whole repository
+// executes: a stand-in for x86 with enough micro-architectural texture —
+// per-iform uops, execution-port sets, latencies, operand classes, REP and
+// LOCK prefixes — that the instruction-mix clustering and port-contention
+// modeling of the Ditto paper (§4.4.2) are meaningful.
+//
+// Both the original application models and Ditto-generated synthetic bodies
+// emit dynamic streams of Instr values; the CPU model consumes them; the
+// profilers observe them exactly the way Intel SDE observes a real binary.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. The file register model is 16
+// general-purpose registers R0–R15 plus 16 vector registers X0–X15,
+// mirroring x86-64. RegNone marks an absent operand.
+type Reg uint8
+
+// General-purpose and vector register names.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8  // by convention: branch-mask counter in generated code
+	R9  // by convention: loop counter in generated code
+	R10 // by convention: data-array base pointer in generated code
+	R11 // by convention: pointer-chasing register in generated code
+	R12
+	R13
+	R14
+	R15
+	X0
+	X1
+	X2
+	X3
+	X4
+	X5
+	X6
+	X7
+	X8
+	X9
+	X10
+	X11
+	X12
+	X13
+	X14
+	X15
+	// RegNone marks "no operand".
+	RegNone Reg = 0xFF
+)
+
+// NumRegs is the total number of architectural registers.
+const NumRegs = 32
+
+// IsVector reports whether r is one of the X registers.
+func (r Reg) IsVector() bool { return r >= X0 && r <= X15 }
+
+// String returns the assembler-style register name.
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r.IsVector():
+		return fmt.Sprintf("x%d", r-X0)
+	case r < X0:
+		return fmt.Sprintf("r%d", r)
+	default:
+		return fmt.Sprintf("reg(%d)", uint8(r))
+	}
+}
+
+// Class is the functional cluster an iform belongs to. The paper clusters
+// x86 iforms by functionality (data movement, arithmetic/logic,
+// control-flow, lock-prefixed, repeat string), operands, and ALU usage.
+type Class uint8
+
+// Functional classes.
+const (
+	ClassDataMove Class = iota
+	ClassArith
+	ClassIntMul
+	ClassIntDiv
+	ClassFP
+	ClassSIMD
+	ClassControl
+	ClassLock
+	ClassRepString
+	ClassNop
+	numClasses
+)
+
+// NumClasses is the number of functional classes.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	"datamove", "arith", "intmul", "intdiv", "fp", "simd",
+	"control", "lock", "repstring", "nop",
+}
+
+// String returns the lowercase class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// OperandClass describes the operand style of an iform, the second
+// clustering axis of §4.4.2.
+type OperandClass uint8
+
+// Operand classes.
+const (
+	OpGPR OperandClass = iota // general-purpose registers only
+	OpMem                     // at least one memory operand
+	OpXMM                     // vector registers
+	OpX87                     // legacy floating point stack
+	OpImm                     // immediate-heavy (shifts, tests)
+)
+
+var operandNames = [...]string{"gpr", "mem", "xmm", "x87", "imm"}
+
+// String returns the lowercase operand-class name.
+func (o OperandClass) String() string {
+	if int(o) < len(operandNames) {
+		return operandNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// PortMask is a bitmask of the execution ports an iform's primary uop can
+// issue to. The port model is Skylake-shaped: ports 0,1,5,6 are ALUs
+// (6 also branches), 2,3 are loads, 4 is store-data, 7 is store-AGU.
+type PortMask uint8
+
+// Port constants.
+const (
+	P0 PortMask = 1 << iota
+	P1
+	P2
+	P3
+	P4
+	P5
+	P6
+	P7
+)
+
+// Common port groups.
+const (
+	PortsALU    = P0 | P1 | P5 | P6
+	PortsLoad   = P2 | P3
+	PortsStore  = P4
+	PortsBranch = P6
+	PortsMulDiv = P1
+	PortsFP     = P0 | P1
+)
+
+// Count reports the number of ports in the mask.
+func (p PortMask) Count() int {
+	n := 0
+	for p != 0 {
+		n += int(p & 1)
+		p >>= 1
+	}
+	return n
+}
+
+// Op identifies an iform in the Table.
+type Op uint8
+
+// IForm describes the static micro-architectural properties of one
+// instruction form — the unit the instruction-mix profiler counts and the
+// generator samples from.
+type IForm struct {
+	Name     string       // assembler-ish mnemonic with operand shape
+	Class    Class        // functional cluster
+	Operands OperandClass // operand cluster
+	Uops     int          // fused-domain uops
+	Latency  int          // result latency in cycles
+	Ports    PortMask     // issue ports for the primary uop
+	Load     bool         // reads memory
+	Store    bool         // writes memory
+	Branch   bool         // conditional control flow
+	Rep      bool         // repeat-string prefixed: cost scales with RepCount
+	RepUnit  int          // cycles per repeated element (Rep only)
+	ALUHeavy bool         // long-latency ALU op (third clustering axis)
+}
+
+// Instr is one dynamic instruction instance. Streams of Instr are what the
+// CPU executes and the profilers observe. Memory addresses are byte
+// addresses resolved by the emitter (the paper hard-codes offsets at
+// generation time; original apps compute them from their hidden state).
+type Instr struct {
+	Op       Op     // index into Table
+	PC       uint64 // instruction address (i-cache and BTB behaviour)
+	Dst      Reg    // destination register (RegNone if none)
+	Src1     Reg    // first source (RegNone if none)
+	Src2     Reg    // second source (RegNone if none)
+	Addr     uint64 // memory byte address for Load/Store ops
+	BranchID int32  // static branch site id, -1 for non-branches
+	Taken    bool   // dynamic branch outcome
+	RepCount int32  // element count for Rep ops
+	Shared   bool   // touches coherence-shared data
+	Kernel   bool   // executed in kernel mode (syscall body)
+}
+
+// Form returns the iform descriptor for the instruction.
+func (in *Instr) Form() *IForm { return &Table[in.Op] }

@@ -1,0 +1,131 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableComplete(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		f := &Table[op]
+		if f.Name == "" {
+			t.Errorf("op %d has no name", op)
+		}
+		if f.Uops <= 0 {
+			t.Errorf("%s: uops = %d", f.Name, f.Uops)
+		}
+		if f.Latency < 0 {
+			t.Errorf("%s: negative latency", f.Name)
+		}
+		if f.Ports == 0 {
+			t.Errorf("%s: no issue ports", f.Name)
+		}
+		if f.Rep && f.RepUnit <= 0 {
+			t.Errorf("%s: rep op without RepUnit", f.Name)
+		}
+		if int(f.Class) >= NumClasses {
+			t.Errorf("%s: bad class %d", f.Name, f.Class)
+		}
+	}
+}
+
+func TestTableClassConsistency(t *testing.T) {
+	for op := Op(0); op < Op(numOps); op++ {
+		f := &Table[op]
+		switch f.Class {
+		case ClassControl:
+			if f.Ports&P6 == 0 {
+				t.Errorf("%s: control op must include port 6", f.Name)
+			}
+		case ClassLock:
+			if !f.Load || !f.Store {
+				t.Errorf("%s: lock op must be RMW", f.Name)
+			}
+		case ClassRepString:
+			if !f.Rep {
+				t.Errorf("%s: repstring op must set Rep", f.Name)
+			}
+		}
+		if f.Load && f.Store && f.Class != ClassLock && f.Class != ClassRepString && op != CALL {
+			t.Errorf("%s: unexpected RMW", f.Name)
+		}
+	}
+}
+
+func TestCRC32PortRestriction(t *testing.T) {
+	f := &Table[CRC32rr]
+	if f.Ports != P1 {
+		t.Fatalf("crc32 ports = %b, want port 1 only (paper §4.4.2)", f.Ports)
+	}
+	if f.Latency != 3 {
+		t.Fatalf("crc32 latency = %d, want 3", f.Latency)
+	}
+}
+
+func TestSimpleALUBreadth(t *testing.T) {
+	f := &Table[ADDrr]
+	if f.Ports.Count() != 4 {
+		t.Fatalf("add r,r should issue on 4 ports, got %d", f.Ports.Count())
+	}
+	if f.Latency != 1 {
+		t.Fatalf("add r,r latency = %d", f.Latency)
+	}
+}
+
+func TestPortMaskCount(t *testing.T) {
+	if PortsALU.Count() != 4 {
+		t.Fatalf("PortsALU.Count = %d", PortsALU.Count())
+	}
+	if PortMask(0).Count() != 0 {
+		t.Fatal("empty mask count != 0")
+	}
+	if (P0 | P7).Count() != 2 {
+		t.Fatal("two-port mask count != 2")
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	if R10.String() != "r10" {
+		t.Fatalf("R10 = %q", R10.String())
+	}
+	if X3.String() != "x3" {
+		t.Fatalf("X3 = %q", X3.String())
+	}
+	if RegNone.String() != "-" {
+		t.Fatalf("RegNone = %q", RegNone.String())
+	}
+	if !X0.IsVector() || R15.IsVector() {
+		t.Fatal("IsVector misclassifies")
+	}
+}
+
+func TestClassAndOperandStrings(t *testing.T) {
+	if ClassRepString.String() != "repstring" {
+		t.Fatalf("class name = %q", ClassRepString.String())
+	}
+	if OpXMM.String() != "xmm" {
+		t.Fatalf("operand name = %q", OpXMM.String())
+	}
+	if !strings.HasPrefix(Class(99).String(), "class(") {
+		t.Fatal("unknown class string")
+	}
+	if !strings.HasPrefix(OperandClass(99).String(), "op(") {
+		t.Fatal("unknown operand string")
+	}
+}
+
+func TestInstrForm(t *testing.T) {
+	in := Instr{Op: JCC, BranchID: 7, Taken: true}
+	if !in.Form().Branch {
+		t.Fatal("JCC form should be a branch")
+	}
+	if in.Form().Name != "jcc" {
+		t.Fatalf("form name = %q", in.Form().Name)
+	}
+}
+
+func TestGeometryConstants(t *testing.T) {
+	if LineBytes != 64 || InstrBytes != 4 || InstrsPerLine != 16 {
+		t.Fatal("geometry constants must match the paper's Eq. 2 assumptions")
+	}
+}

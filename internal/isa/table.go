@@ -1,0 +1,187 @@
+package isa
+
+// Op constants name every iform in Table. The set is modeled on the x86
+// iforms the paper's examples use (ADD, SUB, MUL, MOV with pointer chasing,
+// TEST/JZ bitmask branches, CRC32's port-1-only three-cycle profile, REP
+// string ops with data-dependent cost, LOCK-prefixed read-modify-writes).
+const (
+	// Data movement.
+	MOVrr Op = iota
+	MOVri
+	MOVload
+	MOVstore
+	MOVZXload
+	LEA
+	PUSH
+	POP
+	XCHGrr
+	MOVAPSxx
+	MOVAPSload
+	MOVAPSstore
+	MOVptr // mov r, [r] — pointer chasing load (serializing MLP)
+
+	// Integer arithmetic / logic.
+	ADDrr
+	ADDri
+	ADDload
+	SUBrr
+	SUBload
+	ANDrr
+	ORrr
+	XORrr
+	CMPrr
+	CMPload
+	TESTri
+	SHLri
+	SHRri
+	INCr
+	DECr
+	NEGr
+	ADCrr
+
+	// Integer multiply / divide.
+	IMULrr
+	IMULload
+	MULr
+	DIVr
+	IDIVr
+
+	// Floating point (scalar SSE).
+	ADDSDxx
+	SUBSDxx
+	MULSDxx
+	DIVSDxx
+	SQRTSDx
+	ADDSDload
+	CVTSI2SD
+	COMISDxx
+
+	// SIMD integer / packed.
+	PADDDxx
+	PSUBDxx
+	PMULLDxx
+	PXORxx
+	PANDxx
+	PADDDload
+	PSHUFBxx
+	CRC32rr // 3 cycles, port 1 only — the paper's example of iform diversity
+	POPCNTrr
+
+	// Control flow.
+	JMP
+	JCC // conditional branch
+	CALL
+	RET
+
+	// Lock-prefixed atomics.
+	LOCKADD
+	LOCKCMPXCHG
+	LOCKXADD
+	LOCKDEC
+
+	// Repeat-string operations.
+	REPMOVSB
+	REPSTOSB
+	REPNZSCASB
+	REPCMPSB
+
+	// NOP (padding / alignment).
+	NOP
+
+	numOps
+)
+
+// NumOps is the number of iforms in the table.
+const NumOps = int(numOps)
+
+// Table holds the iform descriptors, indexed by Op. Latencies and port
+// assignments follow the Skylake-shaped numbers of uops.info / Agner Fog
+// tables the paper cites: simple ALU ops are 1 cycle on any of ports
+// 0/1/5/6, loads are 2 uops with 4-cycle L1 latency handled by the cache
+// model, CRC32 is 3 cycles on port 1 only, divides are tens of cycles, LOCK
+// ops ~20 cycles, REP ops cost per element.
+var Table = [NumOps]IForm{
+	MOVrr:       {Name: "mov r,r", Class: ClassDataMove, Operands: OpGPR, Uops: 1, Latency: 1, Ports: PortsALU},
+	MOVri:       {Name: "mov r,imm", Class: ClassDataMove, Operands: OpImm, Uops: 1, Latency: 1, Ports: PortsALU},
+	MOVload:     {Name: "mov r,[m]", Class: ClassDataMove, Operands: OpMem, Uops: 1, Latency: 4, Ports: PortsLoad, Load: true},
+	MOVstore:    {Name: "mov [m],r", Class: ClassDataMove, Operands: OpMem, Uops: 2, Latency: 1, Ports: PortsStore, Store: true},
+	MOVZXload:   {Name: "movzx r,[m]", Class: ClassDataMove, Operands: OpMem, Uops: 1, Latency: 4, Ports: PortsLoad, Load: true},
+	LEA:         {Name: "lea r,[m]", Class: ClassDataMove, Operands: OpGPR, Uops: 1, Latency: 1, Ports: P1 | P5},
+	PUSH:        {Name: "push r", Class: ClassDataMove, Operands: OpMem, Uops: 2, Latency: 1, Ports: PortsStore, Store: true},
+	POP:         {Name: "pop r", Class: ClassDataMove, Operands: OpMem, Uops: 1, Latency: 4, Ports: PortsLoad, Load: true},
+	XCHGrr:      {Name: "xchg r,r", Class: ClassDataMove, Operands: OpGPR, Uops: 3, Latency: 2, Ports: PortsALU},
+	MOVAPSxx:    {Name: "movaps x,x", Class: ClassDataMove, Operands: OpXMM, Uops: 1, Latency: 1, Ports: P0 | P1 | P5},
+	MOVAPSload:  {Name: "movaps x,[m]", Class: ClassDataMove, Operands: OpXMM, Uops: 1, Latency: 5, Ports: PortsLoad, Load: true},
+	MOVAPSstore: {Name: "movaps [m],x", Class: ClassDataMove, Operands: OpXMM, Uops: 2, Latency: 1, Ports: PortsStore, Store: true},
+	MOVptr:      {Name: "mov r,[r] (chase)", Class: ClassDataMove, Operands: OpMem, Uops: 1, Latency: 4, Ports: PortsLoad, Load: true},
+
+	ADDrr:   {Name: "add r,r", Class: ClassArith, Operands: OpGPR, Uops: 1, Latency: 1, Ports: PortsALU},
+	ADDri:   {Name: "add r,imm", Class: ClassArith, Operands: OpImm, Uops: 1, Latency: 1, Ports: PortsALU},
+	ADDload: {Name: "add r,[m]", Class: ClassArith, Operands: OpMem, Uops: 2, Latency: 5, Ports: PortsLoad, Load: true},
+	SUBrr:   {Name: "sub r,r", Class: ClassArith, Operands: OpGPR, Uops: 1, Latency: 1, Ports: PortsALU},
+	SUBload: {Name: "sub r,[m]", Class: ClassArith, Operands: OpMem, Uops: 2, Latency: 5, Ports: PortsLoad, Load: true},
+	ANDrr:   {Name: "and r,r", Class: ClassArith, Operands: OpGPR, Uops: 1, Latency: 1, Ports: PortsALU},
+	ORrr:    {Name: "or r,r", Class: ClassArith, Operands: OpGPR, Uops: 1, Latency: 1, Ports: PortsALU},
+	XORrr:   {Name: "xor r,r", Class: ClassArith, Operands: OpGPR, Uops: 1, Latency: 1, Ports: PortsALU},
+	CMPrr:   {Name: "cmp r,r", Class: ClassArith, Operands: OpGPR, Uops: 1, Latency: 1, Ports: PortsALU},
+	CMPload: {Name: "cmp r,[m]", Class: ClassArith, Operands: OpMem, Uops: 1, Latency: 5, Ports: PortsLoad, Load: true},
+	TESTri:  {Name: "test r,imm", Class: ClassArith, Operands: OpImm, Uops: 1, Latency: 1, Ports: PortsALU},
+	SHLri:   {Name: "shl r,imm", Class: ClassArith, Operands: OpImm, Uops: 1, Latency: 1, Ports: P0 | P6},
+	SHRri:   {Name: "shr r,imm", Class: ClassArith, Operands: OpImm, Uops: 1, Latency: 1, Ports: P0 | P6},
+	INCr:    {Name: "inc r", Class: ClassArith, Operands: OpGPR, Uops: 1, Latency: 1, Ports: PortsALU},
+	DECr:    {Name: "dec r", Class: ClassArith, Operands: OpGPR, Uops: 1, Latency: 1, Ports: PortsALU},
+	NEGr:    {Name: "neg r", Class: ClassArith, Operands: OpGPR, Uops: 1, Latency: 1, Ports: PortsALU},
+	ADCrr:   {Name: "adc r,r", Class: ClassArith, Operands: OpGPR, Uops: 1, Latency: 1, Ports: P0 | P6},
+
+	IMULrr:   {Name: "imul r,r", Class: ClassIntMul, Operands: OpGPR, Uops: 1, Latency: 3, Ports: PortsMulDiv, ALUHeavy: true},
+	IMULload: {Name: "imul r,[m]", Class: ClassIntMul, Operands: OpMem, Uops: 2, Latency: 8, Ports: PortsMulDiv, Load: true, ALUHeavy: true},
+	MULr:     {Name: "mul r", Class: ClassIntMul, Operands: OpGPR, Uops: 2, Latency: 4, Ports: PortsMulDiv, ALUHeavy: true},
+	DIVr:     {Name: "div r", Class: ClassIntDiv, Operands: OpGPR, Uops: 10, Latency: 26, Ports: P0, ALUHeavy: true},
+	IDIVr:    {Name: "idiv r", Class: ClassIntDiv, Operands: OpGPR, Uops: 10, Latency: 26, Ports: P0, ALUHeavy: true},
+
+	ADDSDxx:   {Name: "addsd x,x", Class: ClassFP, Operands: OpXMM, Uops: 1, Latency: 4, Ports: PortsFP},
+	SUBSDxx:   {Name: "subsd x,x", Class: ClassFP, Operands: OpXMM, Uops: 1, Latency: 4, Ports: PortsFP},
+	MULSDxx:   {Name: "mulsd x,x", Class: ClassFP, Operands: OpXMM, Uops: 1, Latency: 4, Ports: PortsFP},
+	DIVSDxx:   {Name: "divsd x,x", Class: ClassFP, Operands: OpXMM, Uops: 1, Latency: 14, Ports: P0, ALUHeavy: true},
+	SQRTSDx:   {Name: "sqrtsd x", Class: ClassFP, Operands: OpXMM, Uops: 1, Latency: 18, Ports: P0, ALUHeavy: true},
+	ADDSDload: {Name: "addsd x,[m]", Class: ClassFP, Operands: OpMem, Uops: 2, Latency: 9, Ports: PortsLoad, Load: true},
+	CVTSI2SD:  {Name: "cvtsi2sd x,r", Class: ClassFP, Operands: OpXMM, Uops: 2, Latency: 6, Ports: P0 | P1},
+	COMISDxx:  {Name: "comisd x,x", Class: ClassFP, Operands: OpXMM, Uops: 1, Latency: 2, Ports: P0},
+
+	PADDDxx:   {Name: "paddd x,x", Class: ClassSIMD, Operands: OpXMM, Uops: 1, Latency: 1, Ports: P0 | P1 | P5},
+	PSUBDxx:   {Name: "psubd x,x", Class: ClassSIMD, Operands: OpXMM, Uops: 1, Latency: 1, Ports: P0 | P1 | P5},
+	PMULLDxx:  {Name: "pmulld x,x", Class: ClassSIMD, Operands: OpXMM, Uops: 2, Latency: 10, Ports: P0 | P1, ALUHeavy: true},
+	PXORxx:    {Name: "pxor x,x", Class: ClassSIMD, Operands: OpXMM, Uops: 1, Latency: 1, Ports: P0 | P1 | P5},
+	PANDxx:    {Name: "pand x,x", Class: ClassSIMD, Operands: OpXMM, Uops: 1, Latency: 1, Ports: P0 | P1 | P5},
+	PADDDload: {Name: "paddd x,[m]", Class: ClassSIMD, Operands: OpMem, Uops: 2, Latency: 6, Ports: PortsLoad, Load: true},
+	PSHUFBxx:  {Name: "pshufb x,x", Class: ClassSIMD, Operands: OpXMM, Uops: 1, Latency: 1, Ports: P5},
+	CRC32rr:   {Name: "crc32 r,r", Class: ClassSIMD, Operands: OpGPR, Uops: 1, Latency: 3, Ports: P1, ALUHeavy: true},
+	POPCNTrr:  {Name: "popcnt r,r", Class: ClassSIMD, Operands: OpGPR, Uops: 1, Latency: 3, Ports: P1},
+
+	JMP:  {Name: "jmp", Class: ClassControl, Operands: OpImm, Uops: 1, Latency: 1, Ports: PortsBranch},
+	JCC:  {Name: "jcc", Class: ClassControl, Operands: OpImm, Uops: 1, Latency: 1, Ports: PortsBranch, Branch: true},
+	CALL: {Name: "call", Class: ClassControl, Operands: OpMem, Uops: 2, Latency: 2, Ports: PortsBranch, Store: true},
+	RET:  {Name: "ret", Class: ClassControl, Operands: OpMem, Uops: 2, Latency: 2, Ports: PortsBranch, Load: true},
+
+	LOCKADD:     {Name: "lock add [m],r", Class: ClassLock, Operands: OpMem, Uops: 8, Latency: 20, Ports: PortsLoad, Load: true, Store: true, ALUHeavy: true},
+	LOCKCMPXCHG: {Name: "lock cmpxchg [m],r", Class: ClassLock, Operands: OpMem, Uops: 10, Latency: 22, Ports: PortsLoad, Load: true, Store: true, ALUHeavy: true},
+	LOCKXADD:    {Name: "lock xadd [m],r", Class: ClassLock, Operands: OpMem, Uops: 9, Latency: 21, Ports: PortsLoad, Load: true, Store: true, ALUHeavy: true},
+	LOCKDEC:     {Name: "lock dec [m]", Class: ClassLock, Operands: OpMem, Uops: 8, Latency: 20, Ports: PortsLoad, Load: true, Store: true, ALUHeavy: true},
+
+	REPMOVSB:   {Name: "rep movsb", Class: ClassRepString, Operands: OpMem, Uops: 4, Latency: 25, Ports: PortsLoad, Load: true, Store: true, Rep: true, RepUnit: 1},
+	REPSTOSB:   {Name: "rep stosb", Class: ClassRepString, Operands: OpMem, Uops: 3, Latency: 20, Ports: PortsStore, Store: true, Rep: true, RepUnit: 1},
+	REPNZSCASB: {Name: "repnz scasb", Class: ClassRepString, Operands: OpMem, Uops: 3, Latency: 20, Ports: PortsLoad, Load: true, Rep: true, RepUnit: 2},
+	REPCMPSB:   {Name: "rep cmpsb", Class: ClassRepString, Operands: OpMem, Uops: 4, Latency: 25, Ports: PortsLoad, Load: true, Rep: true, RepUnit: 2},
+
+	NOP: {Name: "nop", Class: ClassNop, Operands: OpImm, Uops: 1, Latency: 0, Ports: PortsALU},
+}
+
+// InstrBytes is the average instruction size the paper assumes (Eq. 2 uses
+// 64-byte lines holding 16 four-byte instructions).
+const InstrBytes = 4
+
+// LineBytes is the cache line size used throughout.
+const LineBytes = 64
+
+// InstrsPerLine is the number of instructions per cache line.
+const InstrsPerLine = LineBytes / InstrBytes

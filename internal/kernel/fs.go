@@ -1,0 +1,212 @@
+package kernel
+
+// Filesystem and page cache. Reads consult an LRU page cache sized by
+// Resources.PageCachePages; contiguous missing pages are batched into one
+// disk request, so sequential scans cost one seek while random reads on a
+// dataset larger than the cache pay per-access device latency — the
+// MongoDB-vs-Memcached asymmetry in the paper's evaluation.
+
+// PageBytes is the page size used by the page cache.
+const PageBytes = 4096
+
+// File is a named file with a fixed size.
+type File struct {
+	Name string
+	Size int64
+	id   uint64
+}
+
+// CreateFile registers a file of the given size on the kernel (dataset
+// setup; contents are not modeled, only geometry).
+func (k *Kernel) CreateFile(name string, size int64) *File {
+	k.nextFS++
+	f := &File{Name: name, Size: size, id: k.nextFS}
+	k.files[name] = f
+	return f
+}
+
+// LookupFile returns a previously created file, or nil.
+func (k *Kernel) LookupFile(name string) *File { return k.files[name] }
+
+// FD is an open file descriptor.
+type FD struct {
+	File *File
+}
+
+// Open opens a file by name, charging the open(2) path. Opening a missing
+// file panics: in this simulation it is always a harness bug.
+func (t *Thread) Open(name string) *FD {
+	t.syscallEnter(SysOpen, 0, "file:"+name)
+	f := t.k.files[name]
+	if f == nil {
+		panic("kernel: open of missing file " + name)
+	}
+	return &FD{File: f}
+}
+
+// CloseFD closes a descriptor.
+func (t *Thread) CloseFD(fd *FD) {
+	t.syscallEnter(SysClose, 0, "file:"+fd.File.Name)
+}
+
+// Pread reads bytes at offset, blocking on the disk for any pages missing
+// from the page cache.
+func (t *Thread) Pread(fd *FD, bytes int, offset int64) {
+	t.syscallEnterOff(SysPread, bytes, offset, "file:"+fd.File.Name)
+	if bytes <= 0 {
+		return
+	}
+	k := t.k
+	first := offset / PageBytes
+	last := (offset + int64(bytes) - 1) / PageBytes
+
+	// Collect contiguous runs of missing pages.
+	type run struct{ pages int }
+	var runs []run
+	missing := 0
+	for p := first; p <= last; p++ {
+		if k.pages.touch(pageKey{file: fd.File.id, page: p}) {
+			if missing > 0 {
+				runs = append(runs, run{missing})
+				missing = 0
+			}
+		} else {
+			missing++
+		}
+	}
+	if missing > 0 {
+		runs = append(runs, run{missing})
+	}
+	if len(runs) == 0 || k.res.Disk == nil {
+		return
+	}
+	pending := len(runs)
+	for _, r := range runs {
+		n := r.pages * PageBytes
+		t.Proc.DiskReadBytes += uint64(n)
+		k.res.Disk.Read(n, func() {
+			pending--
+			if pending == 0 {
+				k.wake(t, "disk")
+			}
+		})
+	}
+	for pending > 0 {
+		t.park()
+	}
+}
+
+// WriteFile writes bytes at offset: pages enter the cache and the disk
+// write completes asynchronously (write-back), so the caller only pays the
+// syscall cost.
+func (t *Thread) WriteFile(fd *FD, bytes int, offset int64) {
+	t.syscallEnterOff(SysWrite, bytes, offset, "file:"+fd.File.Name)
+	if bytes <= 0 {
+		return
+	}
+	k := t.k
+	first := offset / PageBytes
+	last := (offset + int64(bytes) - 1) / PageBytes
+	for p := first; p <= last; p++ {
+		k.pages.insert(pageKey{file: fd.File.id, page: p})
+	}
+	t.Proc.DiskWritten += uint64(bytes)
+	if k.res.Disk != nil {
+		k.res.Disk.Write(bytes, nil)
+	}
+}
+
+// WarmPages preloads n pages of a file into the page cache (dataset warmup
+// before measurement, as the paper's load phase does).
+func (k *Kernel) WarmPages(f *File, startPage, n int64) {
+	for p := startPage; p < startPage+n; p++ {
+		k.pages.insert(pageKey{file: f.id, page: p})
+	}
+}
+
+// PageCacheResident reports the number of resident pages.
+func (k *Kernel) PageCacheResident() int { return len(k.pages.m) }
+
+// ---- page LRU ----
+
+type pageKey struct {
+	file uint64
+	page int64
+}
+
+type pageNode struct {
+	key        pageKey
+	prev, next *pageNode
+}
+
+// pageLRU is a capacity-bounded LRU set of pages.
+type pageLRU struct {
+	cap  int
+	m    map[pageKey]*pageNode
+	head *pageNode // most recently used
+	tail *pageNode // least recently used
+}
+
+func newPageLRU(capacity int) *pageLRU {
+	return &pageLRU{cap: capacity, m: make(map[pageKey]*pageNode)}
+}
+
+// touch reports whether key is resident, promoting it if so.
+func (l *pageLRU) touch(key pageKey) bool {
+	n, ok := l.m[key]
+	if !ok {
+		l.insert(key)
+		return false
+	}
+	l.moveToFront(n)
+	return true
+}
+
+// insert adds key as MRU, evicting the LRU entry at capacity.
+func (l *pageLRU) insert(key pageKey) {
+	if n, ok := l.m[key]; ok {
+		l.moveToFront(n)
+		return
+	}
+	n := &pageNode{key: key}
+	l.m[key] = n
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+	if len(l.m) > l.cap {
+		evict := l.tail
+		l.tail = evict.prev
+		if l.tail != nil {
+			l.tail.next = nil
+		} else {
+			l.head = nil
+		}
+		delete(l.m, evict.key)
+	}
+}
+
+func (l *pageLRU) moveToFront(n *pageNode) {
+	if l.head == n {
+		return
+	}
+	if n.prev != nil {
+		n.prev.next = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	}
+	if l.tail == n {
+		l.tail = n.prev
+	}
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+}

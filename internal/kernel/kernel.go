@@ -1,0 +1,458 @@
+// Package kernel simulates the operating system layer of one machine: a
+// run-to-completion scheduler over the machine's cores, coroutine-style
+// threads, a syscall interface whose kernel-side instruction streams execute
+// on the same CPU model as user code, a page cache in front of the disk,
+// and sockets with epoll-style readiness — plus the observation hooks
+// (syscall log, thread lifecycle events) that stand in for SystemTap in the
+// Ditto pipeline.
+//
+// Concurrency model: the simulation owns exactly one running goroutine at a
+// time. Simulated threads are goroutines parked on a channel handshake; the
+// engine resumes one, it runs until it blocks (parks), and control returns.
+// All cross-thread wakeups are routed through engine events, which keeps
+// every run bit-for-bit deterministic.
+package kernel
+
+import (
+	"fmt"
+
+	"ditto/internal/cpu"
+	"ditto/internal/disk"
+	"ditto/internal/isa"
+	"ditto/internal/netsim"
+	"ditto/internal/sim"
+)
+
+// Resources is the hardware a kernel manages, assembled by the platform.
+type Resources struct {
+	Cores          []*cpu.Core
+	Disk           *disk.Device // nil for diskless workloads
+	NIC            *netsim.NIC
+	PageCachePages int // page-cache capacity in 4KB pages
+}
+
+// Fabric resolves network paths between kernels; the platform implements it.
+type Fabric interface {
+	Path(src, dst *Kernel) netsim.Path
+}
+
+// Kernel is the OS instance of one simulated machine.
+type Kernel struct {
+	Name string
+
+	eng *sim.Engine
+	res Resources
+
+	// Scheduler state.
+	idleCores  []int
+	runq       []*burst
+	coreThread []*Thread // last thread that ran on each core
+
+	// Coroutine handshake.
+	parkCh   chan struct{}
+	stopping bool
+	threads  []*Thread
+	nextTID  int
+
+	// Filesystem.
+	files  map[string]*File
+	nextFS uint64
+	pages  *pageLRU
+
+	// Network.
+	fabric    Fabric
+	listeners map[int]*Listener
+
+	// Observation (the SystemTap surface).
+	sysObs    []func(SyscallEvent)
+	threadObs []func(ThreadEvent)
+
+	ksg    kstreamGen
+	kcache [NumSyscalls + 1][][]isa.Instr
+	kvar   [NumSyscalls + 1]uint8
+}
+
+// New builds a kernel over the given resources.
+func New(eng *sim.Engine, name string, res Resources) *Kernel {
+	if len(res.Cores) == 0 {
+		panic("kernel: machine needs at least one core")
+	}
+	if res.PageCachePages <= 0 {
+		res.PageCachePages = 1 << 18 // 1GB default
+	}
+	k := &Kernel{
+		Name:       name,
+		eng:        eng,
+		res:        res,
+		parkCh:     make(chan struct{}),
+		files:      map[string]*File{},
+		pages:      newPageLRU(res.PageCachePages),
+		listeners:  map[int]*Listener{},
+		coreThread: make([]*Thread, len(res.Cores)),
+		ksg:        kstreamGen{rng: 0x853C49E6748FEA9B},
+	}
+	for i := range res.Cores {
+		k.idleCores = append(k.idleCores, i)
+	}
+	return k
+}
+
+// Engine returns the simulation engine the kernel runs on.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Resources returns the kernel's hardware.
+func (k *Kernel) Resources() Resources { return k.res }
+
+// SetFabric wires the kernel into a network fabric.
+func (k *Kernel) SetFabric(f Fabric) { k.fabric = f }
+
+// ObserveSyscalls installs the syscall-event hook (SystemTap analog).
+func (k *Kernel) ObserveSyscalls(f func(SyscallEvent)) {
+	k.sysObs = append(k.sysObs, f)
+}
+
+// ObserveThreads installs the thread-lifecycle hook.
+func (k *Kernel) ObserveThreads(f func(ThreadEvent)) {
+	k.threadObs = append(k.threadObs, f)
+}
+
+// Proc is one process: a counter-attribution domain with a private address
+// space base so that different processes never share cache lines.
+type Proc struct {
+	Name    string
+	MemBase uint64
+
+	k        *Kernel
+	Counters cpu.Counters
+
+	// Per-process I/O accounting for bandwidth validation.
+	NetTxBytes, NetRxBytes     uint64
+	DiskReadBytes, DiskWritten uint64
+
+	observer func([]isa.Instr) // SDE-style user-instruction hook
+
+	liveThreads int
+	spawnedEver int
+}
+
+var procSeq uint64
+
+// NewProc creates a process on this kernel.
+func (k *Kernel) NewProc(name string) *Proc {
+	procSeq++
+	return &Proc{
+		Name:    name,
+		MemBase: procSeq << 36, // 64GB-spaced address spaces
+		k:       k,
+	}
+}
+
+// Kernel returns the kernel the process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// ObserveInstrs installs the user-level instruction-stream hook (the Intel
+// SDE analog). Kernel-side streams are not reported, matching SDE's
+// user-space visibility.
+func (p *Proc) ObserveInstrs(f func([]isa.Instr)) { p.observer = f }
+
+// LiveThreads reports the number of currently running threads.
+func (p *Proc) LiveThreads() int { return p.liveThreads }
+
+// SpawnedThreads reports the total number of threads ever spawned.
+func (p *Proc) SpawnedThreads() int { return p.spawnedEver }
+
+// threadKilled unwinds a simulated thread when the kernel stops.
+type threadKilled struct{}
+
+// Thread is one simulated kernel thread, implemented as a parked goroutine.
+type Thread struct {
+	ID   int
+	Name string
+	Proc *Proc
+
+	k      *Kernel
+	resume chan struct{}
+	parked bool
+	done   bool
+
+	Spawned     sim.Time
+	Exited      sim.Time
+	CtxSwitches uint64
+	lastWakeSrc string
+
+	tail [1]isa.Instr // reusable payload-copy instruction
+}
+
+// Spawn creates a thread in p running fn. It may be called from setup code
+// or from another simulated thread; the new thread starts at the current
+// simulation time via a scheduled event.
+func (p *Proc) Spawn(name string, fn func(*Thread)) *Thread {
+	k := p.k
+	k.nextTID++
+	t := &Thread{
+		ID:      k.nextTID,
+		Name:    name,
+		Proc:    p,
+		k:       k,
+		resume:  make(chan struct{}),
+		Spawned: k.eng.Now(),
+	}
+	p.liveThreads++
+	p.spawnedEver++
+	k.threads = append(k.threads, t)
+	k.emitThread(ThreadEvent{Time: k.eng.Now(), TID: t.ID, Proc: p.Name,
+		Thread: name, Kind: ThreadSpawn})
+	go func() {
+		<-t.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(threadKilled); !ok {
+					panic(r)
+				}
+			}
+			t.done = true
+			t.Exited = k.eng.Now()
+			p.liveThreads--
+			k.emitThread(ThreadEvent{Time: k.eng.Now(), TID: t.ID,
+				Proc: p.Name, Thread: t.Name, Kind: ThreadExit})
+			k.parkCh <- struct{}{}
+		}()
+		fn(t)
+	}()
+	t.parked = true
+	k.wake(t, "spawn")
+	return t
+}
+
+// park blocks the calling simulated thread until a wake event resumes it.
+// Callers must loop on their condition: wakeups can be spurious.
+func (t *Thread) park() {
+	t.parked = true
+	t.k.parkCh <- struct{}{}
+	<-t.resume
+	if t.k.stopping {
+		panic(threadKilled{})
+	}
+}
+
+// dispatch resumes t and blocks until it parks again or exits. Must only be
+// called from the engine goroutine (inside an event callback).
+func (k *Kernel) dispatch(t *Thread) {
+	if t.done || !t.parked {
+		return
+	}
+	t.parked = false
+	t.resume <- struct{}{}
+	<-k.parkCh
+}
+
+// wake schedules t to resume via an engine event, recording the wake source
+// for the thread-model profiler.
+func (k *Kernel) wake(t *Thread, source string) {
+	if t == nil || t.done {
+		return
+	}
+	t.lastWakeSrc = source
+	k.emitThread(ThreadEvent{Time: k.eng.Now(), TID: t.ID, Proc: t.Proc.Name,
+		Thread: t.Name, Kind: ThreadWake, Source: source})
+	k.eng.After(0, func() { k.dispatch(t) })
+}
+
+// Stop terminates all simulated threads. Call it after the measurement
+// window, then run the engine to drain the kill events.
+func (k *Kernel) Stop() {
+	k.stopping = true
+	for _, t := range k.threads {
+		t := t
+		if !t.done {
+			k.eng.After(0, func() { k.dispatch(t) })
+		}
+	}
+}
+
+// ---- Scheduler ----
+
+// burst is one schedulable unit of CPU work: one or more instruction
+// streams executed back to back on the same core.
+type burst struct {
+	t       *Thread
+	streams [][]isa.Instr
+	res     cpu.Result
+	done    bool
+}
+
+// submit enqueues a burst and starts it if a core is idle.
+func (k *Kernel) submit(b *burst) {
+	k.runq = append(k.runq, b)
+	k.pump()
+}
+
+// pump assigns queued bursts to idle cores.
+func (k *Kernel) pump() {
+	for len(k.idleCores) > 0 && len(k.runq) > 0 {
+		coreID := k.idleCores[len(k.idleCores)-1]
+		k.idleCores = k.idleCores[:len(k.idleCores)-1]
+		b := k.runq[0]
+		k.runq = k.runq[1:]
+		k.runBurst(coreID, b)
+	}
+}
+
+// runBurst executes b on coreID, charging a context switch when the core
+// last ran a different thread.
+func (k *Kernel) runBurst(coreID int, b *burst) {
+	core := k.res.Cores[coreID]
+	var extra sim.Time
+	if prev := k.coreThread[coreID]; prev != b.t && prev != nil {
+		b.t.CtxSwitches++
+		if prev.Proc != b.t.Proc {
+			core.ContextSwitch() // private-cache pollution across processes
+		}
+		csRes := core.Execute(k.kstream(opCtxSwitch))
+		b.t.Proc.Counters.Add(csRes.Counters)
+		extra = core.Time(csRes.Cycles)
+	}
+	k.coreThread[coreID] = b.t
+	var res cpu.Result
+	for _, s := range b.streams {
+		r := core.Execute(s)
+		res.Cycles += r.Cycles
+		res.Counters.Add(r.Counters)
+	}
+	dur := extra + core.Time(res.Cycles)
+	k.eng.After(dur, func() {
+		b.res = res
+		b.done = true
+		k.idleCores = append(k.idleCores, coreID)
+		k.wake(b.t, "cpu")
+		k.pump()
+	})
+}
+
+// kvariantCount is how many pregenerated variants of each syscall's kernel
+// stream rotate in use: enough variety that the branch predictor cannot
+// memorize a single pattern, cheap enough to generate once.
+const kvariantCount = 8
+
+// kstream returns the next pregenerated kernel stream for op.
+func (k *Kernel) kstream(op SyscallOp) []isa.Instr {
+	if k.kcache[op] == nil {
+		vs := make([][]isa.Instr, kvariantCount)
+		for i := range vs {
+			var buf []isa.Instr
+			vs[i] = k.ksg.gen(&buf, op, 0, 0)
+		}
+		k.kcache[op] = vs
+	}
+	i := k.kvar[op]
+	k.kvar[op] = (i + 1) % kvariantCount
+	return k.kcache[op][i]
+}
+
+// compute runs one instruction burst to completion, blocking the thread for
+// its simulated duration, and accumulates counters into the process. All
+// streams must stay unmodified until compute returns.
+func (t *Thread) compute(streams ...[]isa.Instr) cpu.Result {
+	b := &burst{t: t, streams: streams}
+	t.k.submit(b)
+	for !b.done {
+		t.park()
+	}
+	t.Proc.Counters.Add(b.res.Counters)
+	return b.res
+}
+
+// Run executes a user-level instruction stream (application body work). The
+// process's instruction observer — the SDE analog — sees exactly this
+// stream.
+func (t *Thread) Run(stream []isa.Instr) cpu.Result {
+	if t.Proc.observer != nil {
+		t.Proc.observer(stream)
+	}
+	return t.compute(stream)
+}
+
+// Sleep blocks the thread for d of simulated time (nanosleep).
+func (t *Thread) Sleep(d sim.Time) {
+	t.syscallEnter(SysNanosleep, 0, "")
+	deadline := t.k.eng.Now() + d
+	t.k.eng.Schedule(deadline, func() { t.k.wake(t, "timer") })
+	for t.k.eng.Now() < deadline {
+		t.park()
+	}
+}
+
+// Now returns the current simulated time.
+func (t *Thread) Now() sim.Time { return t.k.eng.Now() }
+
+// Kernel returns the kernel the thread runs on.
+func (t *Thread) Kernel() *Kernel { return t.k }
+
+// Yield lets the scheduler run other work (sched_yield).
+func (t *Thread) Yield() {
+	t.k.wake(t, "yield")
+	t.park()
+}
+
+// Clone spawns a child thread, charging the clone() syscall to the caller —
+// how short-lived worker threads show up in the profile.
+func (t *Thread) Clone(name string, fn func(*Thread)) *Thread {
+	t.syscallEnter(SysClone, 0, "")
+	return t.Proc.Spawn(name, fn)
+}
+
+// WaitQueue is a futex-style wait channel for user-space synchronization
+// (mutexes, condition variables). Waiters must re-check their condition
+// after WaitOn returns: wakeups can be spurious.
+type WaitQueue struct {
+	k       *Kernel
+	waiters []*Thread
+	gen     uint64 // bumped by every wake, so wakes during entry aren't lost
+}
+
+// NewWaitQueue creates a wait queue on this kernel.
+func (k *Kernel) NewWaitQueue() *WaitQueue { return &WaitQueue{k: k} }
+
+// WaitOn blocks the thread until a wake. One futex syscall is charged. If a
+// wake arrives while the syscall path is still executing, WaitOn returns
+// without blocking (a spurious-looking but lossless wakeup).
+func (t *Thread) WaitOn(q *WaitQueue) {
+	gen := q.gen
+	t.syscallEnter(SysFutex, 0, "")
+	if q.gen != gen {
+		return
+	}
+	q.waiters = append(q.waiters, t)
+	t.park()
+}
+
+// WakeOne wakes the oldest waiter, if any.
+func (q *WaitQueue) WakeOne() {
+	q.gen++
+	if len(q.waiters) == 0 {
+		return
+	}
+	t := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	q.k.wake(t, "futex")
+}
+
+// WakeAll wakes every waiter.
+func (q *WaitQueue) WakeAll() {
+	q.gen++
+	ws := q.waiters
+	q.waiters = nil
+	for _, t := range ws {
+		q.k.wake(t, "futex")
+	}
+}
+
+// emitThread reports a thread lifecycle event to the observer.
+func (k *Kernel) emitThread(ev ThreadEvent) {
+	for _, f := range k.threadObs {
+		f(ev)
+	}
+}
+
+// String identifies the kernel in logs and errors.
+func (k *Kernel) String() string { return fmt.Sprintf("kernel(%s)", k.Name) }

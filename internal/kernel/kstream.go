@@ -1,0 +1,133 @@
+package kernel
+
+import "ditto/internal/isa"
+
+// kstreamGen synthesizes the kernel-side instruction streams executed by
+// system calls. Kernel code is the same for original and cloned
+// applications — the paper's insight that kernel behaviour is reproduced by
+// imitating the system calls themselves (§4.4), with no assembly-level
+// cloning of the kernel — so this generator is shared machinery, not part
+// of Ditto's cloning surface.
+type kstreamGen struct {
+	rng uint64
+}
+
+// kernelTextBase places kernel code far from any user address space.
+const kernelTextBase = 0xF000_0000_0000
+
+// kernelDataBase is the kernel's data region (socket buffers, dentries…).
+const kernelDataBase = 0xF800_0000_0000
+
+// sysProfile shapes one syscall's kernel execution.
+type sysProfile struct {
+	instrs    int // baseline dynamic instructions
+	footprint int // kernel text bytes walked (i-cache pressure)
+	dataWS    int // kernel data working set bytes
+}
+
+// sysProfiles is indexed by SyscallOp. Numbers are calibrated to produce
+// the kernel-share and frontend-bound character the paper reports for
+// network-heavy services (30–60% kernel time, large instruction footprints).
+var sysProfiles = [NumSyscalls + 1]sysProfile{
+	SysOpen:      {instrs: 1500, footprint: 24 << 10, dataWS: 64 << 10},
+	SysClose:     {instrs: 500, footprint: 8 << 10, dataWS: 16 << 10},
+	SysPread:     {instrs: 1800, footprint: 32 << 10, dataWS: 128 << 10},
+	SysWrite:     {instrs: 1500, footprint: 28 << 10, dataWS: 96 << 10},
+	SysSocket:    {instrs: 800, footprint: 12 << 10, dataWS: 32 << 10},
+	SysConnect:   {instrs: 2400, footprint: 40 << 10, dataWS: 128 << 10},
+	SysAccept:    {instrs: 1800, footprint: 32 << 10, dataWS: 96 << 10},
+	SysListen:    {instrs: 600, footprint: 8 << 10, dataWS: 16 << 10},
+	SysSend:      {instrs: 2600, footprint: 48 << 10, dataWS: 256 << 10},
+	SysRecv:      {instrs: 2200, footprint: 48 << 10, dataWS: 192 << 10},
+	SysEpollWait: {instrs: 900, footprint: 16 << 10, dataWS: 32 << 10},
+	SysEpollCtl:  {instrs: 400, footprint: 8 << 10, dataWS: 16 << 10},
+	SysClone:     {instrs: 3500, footprint: 56 << 10, dataWS: 256 << 10},
+	SysFutex:     {instrs: 600, footprint: 8 << 10, dataWS: 16 << 10},
+	SysNanosleep: {instrs: 700, footprint: 12 << 10, dataWS: 16 << 10},
+	SysMmap:      {instrs: 1200, footprint: 20 << 10, dataWS: 64 << 10},
+	opCtxSwitch:  {instrs: 2500, footprint: 32 << 10, dataWS: 128 << 10},
+}
+
+func (g *kstreamGen) next() uint64 {
+	g.rng ^= g.rng >> 12
+	g.rng ^= g.rng << 25
+	g.rng ^= g.rng >> 27
+	return g.rng * 0x2545F4914F6CDD1D
+}
+
+// gen builds the kernel instruction stream for op into *buf (reusing its
+// capacity) and returns it. A payload of n bytes adds a copy_to_user /
+// copy_from_user modeled as REP MOVSB touching a user buffer in the
+// process's address space.
+func (g *kstreamGen) gen(buf *[]isa.Instr, op SyscallOp, bytes int, userBase uint64) []isa.Instr {
+	p := sysProfiles[op]
+	if p.instrs == 0 {
+		p = sysProfile{instrs: 800, footprint: 16 << 10, dataWS: 32 << 10}
+	}
+	s := (*buf)[:0]
+	text := kernelTextBase + uint64(op)<<20
+	data := kernelDataBase + uint64(op)<<24
+
+	pcOff := uint64(0)
+	fp := uint64(p.footprint)
+	ws := uint64(p.dataWS)
+	n := p.instrs
+	for i := 0; i < n; i++ {
+		r := g.next()
+		pc := text + pcOff
+		// Walk the kernel text mostly linearly with occasional jumps, the
+		// sprawling-footprint pattern of kernel paths.
+		pcOff += isa.InstrBytes
+		if r&0x1F == 0 { // ~3%: jump somewhere else in the path
+			pcOff = (r >> 8) % fp &^ 3
+		}
+		if pcOff >= fp {
+			pcOff = 0
+		}
+		in := isa.Instr{PC: pc, BranchID: -1, Kernel: true,
+			Dst: isa.Reg(r >> 40 & 7), Src1: isa.Reg(r >> 44 & 7), Src2: isa.Reg(r >> 48 & 7)}
+		switch pick := r % 100; {
+		case pick < 22: // load
+			in.Op = isa.MOVload
+			in.Src1 = isa.R10
+			in.Addr = data + g.dataAddr(ws)
+		case pick < 34: // store
+			in.Op = isa.MOVstore
+			in.Dst = isa.RegNone
+			in.Addr = data + g.dataAddr(ws)
+		case pick < 48: // branch, ~88% taken with irregular pattern
+			in.Op = isa.JCC
+			in.BranchID = int32(op)<<8 | int32(pcOff>>6&0xFF)
+			in.Taken = (r>>32)%100 < 88
+			in.Dst = isa.RegNone
+		case pick < 52: // lock-prefixed (refcounts, spinlocks)
+			in.Op = isa.LOCKADD
+			in.Dst = isa.RegNone
+			in.Addr = data + g.dataAddr(8<<10) // hot lock lines
+			in.Shared = true
+		default: // plain ALU
+			in.Op = isa.ADDrr
+		}
+		s = append(s, in)
+	}
+	if bytes > 0 {
+		s = append(s, isa.Instr{Op: isa.REPMOVSB, PC: text + fp/2,
+			Addr: userBase + 1<<30, RepCount: int32(bytes), BranchID: -1,
+			Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone, Kernel: true})
+	}
+	*buf = s
+	return s
+}
+
+// dataAddr picks a kernel data offset: 60% in a hot 4KB region, the rest
+// uniform over the working set.
+func (g *kstreamGen) dataAddr(ws uint64) uint64 {
+	r := g.next()
+	if r%10 < 6 {
+		return r % 4096 &^ 7
+	}
+	if ws == 0 {
+		ws = 4096
+	}
+	return (r >> 16) % ws &^ 7
+}

@@ -1,0 +1,263 @@
+package kernel
+
+// Sockets, connections, and epoll. A connection is a pair of message
+// queues; sending charges the TCP transmit path and hands the bytes to
+// netsim, delivery wakes blocked receivers and epoll waiters. The three
+// server-side network models of §4.3.1 are all expressible: blocking
+// (Recv), I/O multiplexing (EpollWait), and non-blocking (TryRecv polling).
+
+import (
+	"ditto/internal/netsim"
+	"ditto/internal/sim"
+)
+
+// Msg is one application-level message on a connection.
+type Msg struct {
+	Bytes   int
+	Payload any
+	Sent    sim.Time
+}
+
+// connSide is one direction's receive state.
+type connSide struct {
+	k       *Kernel
+	proc    *Proc
+	inbox   []Msg
+	waiters []*Thread
+	epolls  []*Epoll
+	peer    *connSide
+	closed  bool
+}
+
+// Endpoint is one side's handle on a connection.
+type Endpoint struct {
+	mine *connSide
+	peer *connSide
+}
+
+// Kernel returns the kernel that owns this endpoint.
+func (e *Endpoint) Kernel() *Kernel { return e.mine.k }
+
+// Pending reports queued, undelivered-to-app messages.
+func (e *Endpoint) Pending() int { return len(e.mine.inbox) }
+
+// Listener accepts incoming connections on a port.
+type Listener struct {
+	k       *Kernel
+	Port    int
+	backlog []*Endpoint
+	waiters []*Thread
+	epolls  []*Epoll
+}
+
+// Listen binds a listener to port on the thread's kernel.
+func (t *Thread) Listen(port int) *Listener {
+	t.syscallEnter(SysSocket, 0, "socket")
+	t.syscallEnter(SysListen, 0, "socket")
+	l := &Listener{k: t.k, Port: port}
+	t.k.listeners[port] = l
+	return l
+}
+
+// Connect establishes a connection from the calling thread's kernel to a
+// listener on dst:port, paying one network round trip for the handshake.
+func (t *Thread) Connect(dst *Kernel, port int) *Endpoint {
+	t.syscallEnter(SysSocket, 0, "socket")
+	t.syscallEnter(SysConnect, 0, "socket")
+	k := t.k
+	// Retry until the server binds the port (connection-refused retry loop,
+	// as real clients do at startup).
+	l := dst.listeners[port]
+	for l == nil {
+		t.Sleep(200 * sim.Microsecond)
+		l = dst.listeners[port]
+	}
+	a := &connSide{k: k, proc: t.Proc}
+	b := &connSide{k: dst}
+	a.peer, b.peer = b, a
+	client := &Endpoint{mine: a, peer: b}
+	server := &Endpoint{mine: b, peer: a}
+
+	// SYN + SYN/ACK: one RTT before the server sees the connection.
+	path := k.path(dst)
+	rtt := path.RTT
+	if path.Loopback {
+		rtt = netsim.LoopbackRTT
+	}
+	deadline := k.eng.Now() + rtt
+	k.eng.Schedule(deadline, func() {
+		l.backlog = append(l.backlog, server)
+		wakeAll(l.k, &l.waiters, "socket")
+		notifyEpolls(l.k, l.epolls)
+		k.wake(t, "socket")
+	})
+	for k.eng.Now() < deadline {
+		t.park()
+	}
+	return client
+}
+
+// Accept dequeues one pending connection, blocking while the backlog is
+// empty.
+func (t *Thread) Accept(l *Listener) *Endpoint {
+	t.syscallEnter(SysAccept, 0, "socket")
+	for len(l.backlog) == 0 {
+		l.waiters = append(l.waiters, t)
+		t.park()
+	}
+	ep := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	ep.mine.proc = t.Proc
+	return ep
+}
+
+// TryAccept dequeues a pending connection without blocking, returning nil
+// when the backlog is empty.
+func (t *Thread) TryAccept(l *Listener) *Endpoint {
+	if len(l.backlog) == 0 {
+		return nil
+	}
+	return t.Accept(l)
+}
+
+// Send transmits a message. The caller pays the TCP transmit path (scaled
+// by size) and returns once the data is handed to the NIC; delivery is
+// asynchronous.
+func (t *Thread) Send(e *Endpoint, bytes int, payload any) {
+	t.syscallEnter(SysSend, bytes, "socket")
+	t.Proc.NetTxBytes += uint64(bytes)
+	k := t.k
+	dstSide := e.peer
+	path := k.path(dstSide.k)
+	msg := Msg{Bytes: bytes, Payload: payload, Sent: k.eng.Now()}
+	netsim.Send(k.eng, path, bytes, func() {
+		if dstSide.closed {
+			return
+		}
+		dstSide.inbox = append(dstSide.inbox, msg)
+		if dstSide.proc != nil {
+			dstSide.proc.NetRxBytes += uint64(bytes)
+		}
+		wakeAll(dstSide.k, &dstSide.waiters, "socket")
+		notifyEpolls(dstSide.k, dstSide.epolls)
+	})
+}
+
+// Recv blocks until a message arrives, then charges the receive path
+// (bottom half + copy to user) and returns it.
+func (t *Thread) Recv(e *Endpoint) Msg {
+	side := e.mine
+	for len(side.inbox) == 0 {
+		side.waiters = append(side.waiters, t)
+		t.park()
+	}
+	msg := side.inbox[0]
+	side.inbox = side.inbox[1:]
+	t.syscallEnter(SysRecv, msg.Bytes, "socket")
+	return msg
+}
+
+// TryRecv returns a queued message without blocking. ok is false when the
+// inbox is empty; the recv syscall is charged either way (the non-blocking
+// model's polling cost, §4.3.1).
+func (t *Thread) TryRecv(e *Endpoint) (Msg, bool) {
+	side := e.mine
+	if len(side.inbox) == 0 {
+		t.syscallEnter(SysRecv, 0, "socket")
+		return Msg{}, false
+	}
+	msg := side.inbox[0]
+	side.inbox = side.inbox[1:]
+	t.syscallEnter(SysRecv, msg.Bytes, "socket")
+	return msg, true
+}
+
+// CloseConn tears down the endpoint's receive side.
+func (t *Thread) CloseConn(e *Endpoint) {
+	t.syscallEnter(SysClose, 0, "socket")
+	e.mine.closed = true
+	e.mine.inbox = nil
+}
+
+// path resolves the network path between two kernels.
+func (k *Kernel) path(dst *Kernel) netsim.Path {
+	if dst == k || k.fabric == nil {
+		return netsim.Path{Loopback: true}
+	}
+	return k.fabric.Path(k, dst)
+}
+
+// wakeAll wakes and clears a waiter list.
+func wakeAll(k *Kernel, waiters *[]*Thread, source string) {
+	ws := *waiters
+	*waiters = nil
+	for _, w := range ws {
+		k.wake(w, source)
+	}
+}
+
+// notifyEpolls wakes the waiters of each epoll instance.
+func notifyEpolls(k *Kernel, eps []*Epoll) {
+	for _, ep := range eps {
+		wakeAll(k, &ep.waiters, "socket")
+	}
+}
+
+// Epoll is an I/O-multiplexing readiness set (level-triggered).
+type Epoll struct {
+	k         *Kernel
+	conns     []*Endpoint
+	listeners []*Listener
+	waiters   []*Thread
+}
+
+// NewEpoll creates an epoll instance.
+func (k *Kernel) NewEpoll() *Epoll { return &Epoll{k: k} }
+
+// EpollAdd registers an endpoint for readiness notification. Waiters are
+// woken so data queued before registration is not missed.
+func (t *Thread) EpollAdd(ep *Epoll, e *Endpoint) {
+	t.syscallEnter(SysEpollCtl, 0, "socket")
+	ep.conns = append(ep.conns, e)
+	e.mine.epolls = append(e.mine.epolls, ep)
+	if len(e.mine.inbox) > 0 {
+		wakeAll(ep.k, &ep.waiters, "socket")
+	}
+}
+
+// EpollAddListener registers a listener for readiness notification.
+func (t *Thread) EpollAddListener(ep *Epoll, l *Listener) {
+	t.syscallEnter(SysEpollCtl, 0, "socket")
+	ep.listeners = append(ep.listeners, l)
+	l.epolls = append(l.epolls, ep)
+}
+
+// Ready is one readiness report from EpollWait: exactly one field is set.
+type Ready struct {
+	Conn     *Endpoint
+	Listener *Listener
+}
+
+// EpollWait blocks until at least one registered source is readable and
+// returns the ready set (level-triggered scan).
+func (t *Thread) EpollWait(ep *Epoll) []Ready {
+	t.syscallEnter(SysEpollWait, 0, "socket")
+	for {
+		var ready []Ready
+		for _, e := range ep.conns {
+			if len(e.mine.inbox) > 0 {
+				ready = append(ready, Ready{Conn: e})
+			}
+		}
+		for _, l := range ep.listeners {
+			if len(l.backlog) > 0 {
+				ready = append(ready, Ready{Listener: l})
+			}
+		}
+		if len(ready) > 0 {
+			return ready
+		}
+		ep.waiters = append(ep.waiters, t)
+		t.park()
+	}
+}

@@ -1,0 +1,151 @@
+package kernel
+
+import (
+	"testing"
+
+	"ditto/internal/sim"
+)
+
+func TestTryRecvNonBlocking(t *testing.T) {
+	eng := sim.NewEngine()
+	k := testMachine(eng, "m", 2)
+	p := k.NewProc("app")
+	var polls, gets int
+	p.Spawn("server", func(th *Thread) {
+		l := th.Listen(80)
+		conn := th.Accept(l)
+		// Non-blocking poll loop (the §4.3.1 "non-blocking" model).
+		for gets < 3 {
+			if _, ok := th.TryRecv(conn); ok {
+				gets++
+			} else {
+				polls++
+				th.Sleep(20 * sim.Microsecond)
+			}
+		}
+	})
+	p.Spawn("client", func(th *Thread) {
+		th.Sleep(sim.Millisecond)
+		conn := th.Connect(k, 80)
+		for i := 0; i < 3; i++ {
+			th.Send(conn, 32, nil)
+			th.Sleep(300 * sim.Microsecond)
+		}
+	})
+	eng.Run()
+	if gets != 3 {
+		t.Fatalf("gets = %d", gets)
+	}
+	if polls == 0 {
+		t.Fatal("non-blocking loop should have polled empty at least once")
+	}
+}
+
+func TestTryAcceptEmpty(t *testing.T) {
+	eng := sim.NewEngine()
+	k := testMachine(eng, "m", 1)
+	p := k.NewProc("app")
+	var got *Endpoint = &Endpoint{} // sentinel
+	p.Spawn("s", func(th *Thread) {
+		l := th.Listen(81)
+		got = th.TryAccept(l)
+	})
+	eng.Run()
+	if got != nil {
+		t.Fatal("TryAccept on empty backlog should return nil")
+	}
+}
+
+func TestCloseConnDropsDelivery(t *testing.T) {
+	eng := sim.NewEngine()
+	k := testMachine(eng, "m", 2)
+	p := k.NewProc("app")
+	var server *Endpoint
+	p.Spawn("s", func(th *Thread) {
+		l := th.Listen(82)
+		server = th.Accept(l)
+		th.CloseConn(server)
+	})
+	p.Spawn("c", func(th *Thread) {
+		th.Sleep(sim.Millisecond)
+		conn := th.Connect(k, 82)
+		th.Sleep(sim.Millisecond) // let the server close first
+		th.Send(conn, 64, nil)
+	})
+	eng.Run()
+	if server == nil {
+		t.Fatal("no connection accepted")
+	}
+	if server.Pending() != 0 {
+		t.Fatal("closed endpoint should drop deliveries")
+	}
+}
+
+func TestConnectRetriesUntilListen(t *testing.T) {
+	eng := sim.NewEngine()
+	k := testMachine(eng, "m", 2)
+	p := k.NewProc("app")
+	connected := false
+	p.Spawn("client-first", func(th *Thread) {
+		conn := th.Connect(k, 83) // server not listening yet
+		th.Send(conn, 16, nil)
+		connected = true
+	})
+	p.Spawn("late-server", func(th *Thread) {
+		th.Sleep(5 * sim.Millisecond)
+		l := th.Listen(83)
+		conn := th.Accept(l)
+		th.Recv(conn)
+	})
+	eng.Run()
+	if !connected {
+		t.Fatal("connect did not retry until the listener appeared")
+	}
+	if eng.Now() < 5*sim.Millisecond {
+		t.Fatal("connection must have waited for the listener")
+	}
+}
+
+func TestPageLRUDirect(t *testing.T) {
+	l := newPageLRU(3)
+	k := func(p int64) pageKey { return pageKey{file: 1, page: p} }
+	if l.touch(k(1)) {
+		t.Fatal("cold touch should miss (and insert)")
+	}
+	if !l.touch(k(1)) {
+		t.Fatal("second touch should hit")
+	}
+	l.insert(k(2))
+	l.insert(k(3))
+	l.touch(k(1)) // 1 is MRU
+	l.insert(k(4))
+	// Capacity 3: inserting 4 evicts LRU (2).
+	if l.touch(k(2)) {
+		t.Fatal("page 2 should have been evicted")
+	}
+	// touch(k(2)) reinserted 2, evicting 3 (LRU after the miss on 2).
+	if !l.touch(k(1)) {
+		t.Fatal("page 1 should survive as recently used")
+	}
+	if len(l.m) > 3 {
+		t.Fatalf("LRU exceeded capacity: %d", len(l.m))
+	}
+}
+
+func TestKernelStreamVariantsRotate(t *testing.T) {
+	eng := sim.NewEngine()
+	k := testMachine(eng, "m", 1)
+	first := k.kstream(SysSend)
+	second := k.kstream(SysSend)
+	if &first[0] == &second[0] {
+		t.Fatal("consecutive calls should rotate variants")
+	}
+	// After kvariantCount calls the rotation wraps to the first variant.
+	for i := 2; i < kvariantCount; i++ {
+		k.kstream(SysSend)
+	}
+	wrapped := k.kstream(SysSend)
+	if &first[0] != &wrapped[0] {
+		t.Fatal("variant rotation should wrap")
+	}
+}

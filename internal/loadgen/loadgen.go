@@ -1,0 +1,170 @@
+// Package loadgen drives server applications the way the paper's clients
+// do: an open-loop generator with Poisson arrivals (the mutated / tcpkali /
+// modified-wrk2 role) and a closed-loop generator with one outstanding
+// request per connection (the YCSB role for MongoDB and Redis). Latency is
+// recorded end-to-end from client send to client receive in virtual time.
+package loadgen
+
+import (
+	"ditto/internal/app"
+	"ditto/internal/kernel"
+	"ditto/internal/platform"
+	"ditto/internal/sim"
+	"ditto/internal/stats"
+)
+
+// MixEntry weights one request kind in the generated mix.
+type MixEntry struct {
+	Kind     int
+	Weight   float64
+	ReqBytes int
+}
+
+// Config shapes one load generator.
+type Config struct {
+	Name    string
+	Machine *platform.Machine // client machine
+	Target  *kernel.Kernel    // server kernel
+	Port    int
+	Conns   int
+	// QPS > 0 runs an open loop at that Poisson rate; QPS == 0 runs a
+	// closed loop (each connection keeps exactly one request outstanding).
+	QPS  float64
+	Mix  []MixEntry
+	Seed int64
+}
+
+// Generator produces load and records latency.
+type Generator struct {
+	cfg  Config
+	proc *kernel.Proc
+
+	lat       stats.Recorder // milliseconds
+	sent      int
+	received  int
+	connected int
+	mixPick   *stats.Categorical
+	rng       *stats.Rand
+}
+
+// New builds a generator. Call Start before running the engine.
+func New(cfg Config) *Generator {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 8
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = []MixEntry{{Kind: 0, Weight: 1, ReqBytes: 64}}
+	}
+	w := make([]float64, len(cfg.Mix))
+	for i, m := range cfg.Mix {
+		w[i] = m.Weight
+	}
+	return &Generator{
+		cfg:     cfg,
+		proc:    cfg.Machine.Kernel.NewProc(cfg.Name),
+		mixPick: stats.NewCategorical(w),
+		rng:     stats.NewRand(cfg.Seed ^ 0x1F2E3D),
+	}
+}
+
+// Proc returns the client process (for counter inspection).
+func (g *Generator) Proc() *kernel.Proc { return g.proc }
+
+// Latency returns the latency recorder (milliseconds).
+func (g *Generator) Latency() *stats.Recorder { return &g.lat }
+
+// Sent reports requests sent since the last Reset.
+func (g *Generator) Sent() int { return g.sent }
+
+// Received reports responses received since the last Reset.
+func (g *Generator) Received() int { return g.received }
+
+// Reset clears measurement state (end of warmup).
+func (g *Generator) Reset() {
+	g.lat.Reset()
+	g.sent, g.received = 0, 0
+}
+
+// Start spawns the client threads. Connections are established first; load
+// begins once all connections are up.
+func (g *Generator) Start() {
+	if g.cfg.QPS > 0 {
+		g.startOpenLoop()
+	} else {
+		g.startClosedLoop()
+	}
+}
+
+// startClosedLoop runs one thread per connection, each keeping a single
+// outstanding request (YCSB-style).
+func (g *Generator) startClosedLoop() {
+	for c := 0; c < g.cfg.Conns; c++ {
+		g.proc.Spawn("closed-conn", func(th *kernel.Thread) {
+			conn := th.Connect(g.cfg.Target, g.cfg.Port)
+			for {
+				g.sendOne(th, conn)
+				msg := th.Recv(conn)
+				g.recordResponse(th, msg)
+			}
+		})
+	}
+}
+
+// startOpenLoop runs per-connection receiver threads plus one arrival
+// thread issuing requests at exponential inter-arrival times regardless of
+// outstanding responses.
+func (g *Generator) startOpenLoop() {
+	conns := make([]*kernel.Endpoint, g.cfg.Conns)
+	ready := g.cfg.Machine.Kernel.NewWaitQueue()
+	for c := 0; c < g.cfg.Conns; c++ {
+		c := c
+		g.proc.Spawn("open-conn", func(th *kernel.Thread) {
+			conn := th.Connect(g.cfg.Target, g.cfg.Port)
+			conns[c] = conn
+			g.connected++
+			ready.WakeAll()
+			for {
+				msg := th.Recv(conn)
+				g.recordResponse(th, msg)
+			}
+		})
+	}
+	g.proc.Spawn("arrivals", func(th *kernel.Thread) {
+		for g.connected < g.cfg.Conns {
+			th.WaitOn(ready)
+		}
+		next := 0
+		mean := 1.0 / g.cfg.QPS
+		for {
+			wait := sim.FromSeconds(g.rng.Exp(mean))
+			if wait < sim.Nanosecond {
+				wait = sim.Nanosecond
+			}
+			th.Sleep(wait)
+			g.sendOne(th, conns[next])
+			next = (next + 1) % len(conns)
+		}
+	})
+}
+
+// sendOne issues one request on conn.
+func (g *Generator) sendOne(th *kernel.Thread, conn *kernel.Endpoint) {
+	m := g.cfg.Mix[g.mixPick.Sample(g.rng)]
+	req := &app.Request{Kind: m.Kind, SentAt: th.Now()}
+	bytes := m.ReqBytes
+	if bytes <= 0 {
+		bytes = 64
+	}
+	g.sent++
+	th.Send(conn, bytes, req)
+}
+
+// recordResponse books one completed request.
+func (g *Generator) recordResponse(th *kernel.Thread, msg kernel.Msg) {
+	req, ok := msg.Payload.(*app.Request)
+	if !ok {
+		return
+	}
+	g.received++
+	g.lat.Add((th.Now() - req.SentAt).Millis())
+}

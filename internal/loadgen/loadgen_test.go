@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+
+	"ditto/internal/app"
+	"ditto/internal/platform"
+	"ditto/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Engine, *platform.Machine, *platform.Machine, app.App) {
+	t.Helper()
+	eng := sim.NewEngine()
+	cl := platform.NewCluster(eng, 100*sim.Microsecond)
+	srv := platform.NewMachine(eng, "srv", platform.A(), platform.WithCoreCount(8))
+	cli := platform.NewMachine(eng, "cli", platform.A(), platform.WithCoreCount(8))
+	cl.Add(srv)
+	cl.Add(cli)
+	a := app.NewRedis(srv, 6379, 7)
+	a.Start()
+	return eng, srv, cli, a
+}
+
+func TestOpenLoopRate(t *testing.T) {
+	eng, srv, cli, a := setup(t)
+	g := New(Config{Name: "open", Machine: cli, Target: srv.Kernel, Port: a.Port(),
+		Conns: 8, QPS: 2000, Seed: 1})
+	g.Start()
+	eng.RunUntil(sim.Second)
+	rate := float64(g.Sent())
+	if math.Abs(rate-2000) > 300 {
+		t.Fatalf("open-loop sent %v in 1s, want ≈ 2000", rate)
+	}
+	if g.Received() < g.Sent()*9/10 {
+		t.Fatalf("received %d of %d", g.Received(), g.Sent())
+	}
+	if g.Latency().Count() == 0 || g.Latency().Percentile(99) <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	srv.Kernel.Stop()
+	cli.Kernel.Stop()
+	eng.Run()
+}
+
+func TestClosedLoopKeepsOneOutstanding(t *testing.T) {
+	eng, srv, cli, a := setup(t)
+	g := New(Config{Name: "closed", Machine: cli, Target: srv.Kernel, Port: a.Port(),
+		Conns: 4, Seed: 2})
+	g.Start()
+	eng.RunUntil(200 * sim.Millisecond)
+	if g.Sent() == 0 {
+		t.Fatal("closed loop sent nothing")
+	}
+	outstanding := g.Sent() - g.Received()
+	if outstanding < 0 || outstanding > 4 {
+		t.Fatalf("outstanding = %d, want ≤ conns", outstanding)
+	}
+	srv.Kernel.Stop()
+	cli.Kernel.Stop()
+	eng.Run()
+}
+
+func TestResetClearsStats(t *testing.T) {
+	eng, srv, cli, a := setup(t)
+	g := New(Config{Name: "g", Machine: cli, Target: srv.Kernel, Port: a.Port(),
+		Conns: 2, QPS: 500, Seed: 3})
+	g.Start()
+	eng.RunUntil(300 * sim.Millisecond)
+	if g.Sent() == 0 {
+		t.Fatal("warmup sent nothing")
+	}
+	g.Reset()
+	if g.Sent() != 0 || g.Received() != 0 || g.Latency().Count() != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+	eng.RunUntil(600 * sim.Millisecond)
+	if g.Received() == 0 {
+		t.Fatal("no post-reset traffic")
+	}
+	srv.Kernel.Stop()
+	cli.Kernel.Stop()
+	eng.Run()
+}
+
+func TestMixSampling(t *testing.T) {
+	eng, srv, cli, a := setup(t)
+	g := New(Config{Name: "mix", Machine: cli, Target: srv.Kernel, Port: a.Port(),
+		Conns: 2, QPS: 1000, Seed: 4,
+		Mix: []MixEntry{
+			{Kind: 0, Weight: 0.1, ReqBytes: 64},
+			{Kind: 1, Weight: 0.9, ReqBytes: 128},
+		}})
+	g.Start()
+	eng.RunUntil(500 * sim.Millisecond)
+	if g.Received() == 0 {
+		t.Fatal("no traffic")
+	}
+	srv.Kernel.Stop()
+	cli.Kernel.Stop()
+	eng.Run()
+}
+
+func TestDefaults(t *testing.T) {
+	eng, srv, cli, a := setup(t)
+	g := New(Config{Machine: cli, Target: srv.Kernel, Port: a.Port()})
+	if g.cfg.Conns != 8 || len(g.cfg.Mix) != 1 {
+		t.Fatal("defaults not applied")
+	}
+	_ = eng
+	srv.Kernel.Stop()
+	cli.Kernel.Stop()
+	eng.Run()
+}

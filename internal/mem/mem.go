@@ -1,0 +1,26 @@
+// Package mem models main memory: a fixed access latency plus a bandwidth
+// term that converts aggregate demand from co-located workloads into an
+// additive latency penalty. The penalty is how the platform propagates
+// memory-bandwidth interference (§6.5) into the cache hierarchy without a
+// cycle-accurate DRAM controller.
+package mem
+
+// DRAM describes one memory subsystem.
+type DRAM struct {
+	LatencyCycles int     // unloaded access latency in core cycles
+	BandwidthGBps float64 // peak sustainable bandwidth
+}
+
+// ContentionPenalty converts an aggregate bandwidth demand into extra
+// cycles per access, using an M/M/1-shaped inflation u/(1-u) capped at 95%
+// utilization. Zero demand costs nothing.
+func (d DRAM) ContentionPenalty(demandGBps float64) int {
+	if d.BandwidthGBps <= 0 || demandGBps <= 0 {
+		return 0
+	}
+	u := demandGBps / d.BandwidthGBps
+	if u > 0.95 {
+		u = 0.95
+	}
+	return int(float64(d.LatencyCycles) * u / (1 - u) * 0.5)
+}

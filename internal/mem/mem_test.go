@@ -1,0 +1,23 @@
+package mem
+
+import "testing"
+
+func TestContentionPenalty(t *testing.T) {
+	d := DRAM{LatencyCycles: 200, BandwidthGBps: 100}
+	if d.ContentionPenalty(0) != 0 {
+		t.Fatal("zero demand must cost nothing")
+	}
+	low := d.ContentionPenalty(10)
+	high := d.ContentionPenalty(80)
+	if low >= high {
+		t.Fatalf("penalty not increasing: low=%d high=%d", low, high)
+	}
+	sat := d.ContentionPenalty(1000)
+	cap95 := d.ContentionPenalty(95)
+	if sat != cap95 {
+		t.Fatalf("penalty should cap at 95%% utilization: %d vs %d", sat, cap95)
+	}
+	if (DRAM{}).ContentionPenalty(50) != 0 {
+		t.Fatal("zero-bandwidth DRAM must not divide by zero")
+	}
+}

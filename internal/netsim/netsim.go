@@ -1,0 +1,90 @@
+// Package netsim models the network fabric: NICs with finite bandwidth and
+// FIFO serialization, and links with propagation delay. Saturation shows up
+// as queueing delay at the sender NIC — the mechanism behind the paper's
+// observation that p99 latency diverges at high load due to queueing in the
+// network stack, and behind the iperf-style bandwidth interference of
+// Fig. 10.
+package netsim
+
+import "ditto/internal/sim"
+
+// NIC is one network interface. Transmissions serialize through it in FIFO
+// order at its configured bandwidth; receptions are counted but not rate
+// limited separately (the sender-side model dominates in these workloads).
+type NIC struct {
+	eng           *sim.Engine
+	BandwidthGbps float64
+	busyUntil     sim.Time
+
+	TxBytes, RxBytes uint64
+	TxMsgs, RxMsgs   uint64
+}
+
+// NewNIC builds a NIC with the given line rate.
+func NewNIC(eng *sim.Engine, gbps float64) *NIC {
+	return &NIC{eng: eng, BandwidthGbps: gbps}
+}
+
+// serialize reserves transmission time for a message and returns when the
+// last byte leaves the wire.
+func (n *NIC) serialize(bytes int) sim.Time {
+	start := n.eng.Now()
+	if n.busyUntil > start {
+		start = n.busyUntil
+	}
+	dur := sim.Time(0)
+	if n.BandwidthGbps > 0 {
+		dur = sim.FromSeconds(float64(bytes) * 8 / (n.BandwidthGbps * 1e9))
+	}
+	n.busyUntil = start + dur
+	n.TxBytes += uint64(bytes)
+	n.TxMsgs++
+	return n.busyUntil
+}
+
+// QueueDelay reports how long a new message would wait before starting to
+// serialize.
+func (n *NIC) QueueDelay() sim.Time {
+	if n.busyUntil <= n.eng.Now() {
+		return 0
+	}
+	return n.busyUntil - n.eng.Now()
+}
+
+// Path describes connectivity from one NIC to another.
+type Path struct {
+	Src, Dst *NIC
+	RTT      sim.Time // round-trip propagation; one-way delay is RTT/2
+	Loopback bool     // same-host path: no NIC serialization, memcpy speed
+}
+
+// LoopbackBandwidthGbps approximates kernel loopback throughput.
+const LoopbackBandwidthGbps = 160
+
+// LoopbackRTT is the round-trip latency of the loopback path (two kernel
+// crossings).
+const LoopbackRTT = 25 * sim.Microsecond
+
+// Send transports bytes along the path and invokes deliver when the message
+// arrives at the destination. It returns the arrival time.
+func Send(eng *sim.Engine, p Path, bytes int, deliver func()) sim.Time {
+	if bytes < 0 {
+		bytes = 0
+	}
+	var arrive sim.Time
+	if p.Loopback {
+		dur := sim.FromSeconds(float64(bytes) * 8 / (LoopbackBandwidthGbps * 1e9))
+		arrive = eng.Now() + LoopbackRTT/2 + dur
+	} else {
+		wireDone := p.Src.serialize(bytes)
+		arrive = wireDone + p.RTT/2
+	}
+	if p.Dst != nil {
+		p.Dst.RxBytes += uint64(bytes)
+		p.Dst.RxMsgs++
+	}
+	if deliver != nil {
+		eng.Schedule(arrive, deliver)
+	}
+	return arrive
+}

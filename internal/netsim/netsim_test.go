@@ -1,0 +1,75 @@
+package netsim
+
+import (
+	"testing"
+
+	"ditto/internal/sim"
+)
+
+func TestSendLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	src := NewNIC(eng, 10) // 10 Gbps
+	dst := NewNIC(eng, 10)
+	p := Path{Src: src, Dst: dst, RTT: 100 * sim.Microsecond}
+	var at sim.Time
+	// 125000 bytes = 1Mb = 100us at 10Gbps, plus 50us one-way.
+	Send(eng, p, 125000, func() { at = eng.Now() })
+	eng.Run()
+	want := 150 * sim.Microsecond
+	if at != want {
+		t.Fatalf("arrival = %v, want %v", at, want)
+	}
+	if src.TxBytes != 125000 || dst.RxBytes != 125000 {
+		t.Fatalf("tx=%d rx=%d", src.TxBytes, dst.RxBytes)
+	}
+}
+
+func TestNICSerializationQueues(t *testing.T) {
+	eng := sim.NewEngine()
+	src := NewNIC(eng, 1) // 1 Gbps
+	p := Path{Src: src, Dst: NewNIC(eng, 1), RTT: 0}
+	var first, second sim.Time
+	Send(eng, p, 125000, func() { first = eng.Now() })  // 1ms wire time
+	Send(eng, p, 125000, func() { second = eng.Now() }) // queued behind
+	if src.QueueDelay() == 0 {
+		t.Fatal("NIC should be busy")
+	}
+	eng.Run()
+	if second != 2*first {
+		t.Fatalf("queueing not applied: first=%v second=%v", first, second)
+	}
+}
+
+func TestLoopbackFastPath(t *testing.T) {
+	eng := sim.NewEngine()
+	p := Path{Loopback: true}
+	var at sim.Time
+	Send(eng, p, 4096, func() { at = eng.Now() })
+	eng.Run()
+	if at < LoopbackRTT/2 || at > LoopbackRTT/2+10*sim.Microsecond {
+		t.Fatalf("loopback arrival = %v", at)
+	}
+}
+
+func TestSlowNICSlower(t *testing.T) {
+	eng := sim.NewEngine()
+	fast := Path{Src: NewNIC(eng, 10), Dst: NewNIC(eng, 10), RTT: 0}
+	slow := Path{Src: NewNIC(eng, 1), Dst: NewNIC(eng, 1), RTT: 0}
+	var fAt, sAt sim.Time
+	Send(eng, fast, 1<<20, func() { fAt = eng.Now() })
+	Send(eng, slow, 1<<20, func() { sAt = eng.Now() })
+	eng.Run()
+	if sAt < 5*fAt {
+		t.Fatalf("1Gbe should be ~10x slower: fast=%v slow=%v", fAt, sAt)
+	}
+}
+
+func TestZeroAndNegativeBytes(t *testing.T) {
+	eng := sim.NewEngine()
+	p := Path{Src: NewNIC(eng, 10), Dst: NewNIC(eng, 10), RTT: 10 * sim.Microsecond}
+	at := Send(eng, p, -1, nil)
+	if at != 5*sim.Microsecond {
+		t.Fatalf("negative bytes: arrival = %v", at)
+	}
+	eng.Run()
+}

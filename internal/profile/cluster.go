@@ -1,0 +1,188 @@
+package profile
+
+import "ditto/internal/isa"
+
+// Tree is a labeled ordered tree: the call-graph representation the thread
+// model analyzer builds per thread (§4.3.2).
+type Tree struct {
+	Label    string
+	Children []*Tree
+}
+
+// size counts nodes.
+func (t *Tree) size() int {
+	if t == nil {
+		return 0
+	}
+	n := 1
+	for _, c := range t.Children {
+		n += c.size()
+	}
+	return n
+}
+
+// TreeEditDistance computes an ordered-tree edit distance (unit costs for
+// relabel, insert, delete) by recursive forest decomposition with
+// memoization — sufficient for the small per-thread call graphs clustered
+// here (the paper cites Bille's survey [30]).
+func TreeEditDistance(a, b *Tree) int {
+	memo := map[[2]*Tree]int{}
+	var treeDist func(x, y *Tree) int
+	var forestDist func(xs, ys []*Tree) int
+	forestDist = func(xs, ys []*Tree) int {
+		if len(xs) == 0 {
+			n := 0
+			for _, y := range ys {
+				n += y.size()
+			}
+			return n
+		}
+		if len(ys) == 0 {
+			n := 0
+			for _, x := range xs {
+				n += x.size()
+			}
+			return n
+		}
+		// Match last trees, delete last of xs, or insert last of ys.
+		lx, ly := xs[len(xs)-1], ys[len(ys)-1]
+		match := forestDist(xs[:len(xs)-1], ys[:len(ys)-1]) + treeDist(lx, ly)
+		del := forestDist(xs[:len(xs)-1], ys) + lx.size()
+		ins := forestDist(xs, ys[:len(ys)-1]) + ly.size()
+		return min3(match, del, ins)
+	}
+	treeDist = func(x, y *Tree) int {
+		key := [2]*Tree{x, y}
+		if d, ok := memo[key]; ok {
+			return d
+		}
+		d := forestDist(x.Children, y.Children)
+		if x.Label != y.Label {
+			d++
+		}
+		memo[key] = d
+		return d
+	}
+	return treeDist(a, b)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// Agglomerate performs agglomerative clustering with complete linkage over
+// a symmetric distance matrix, merging until the closest pair exceeds
+// threshold. It returns a cluster index per element. The paper uses
+// agglomerative clustering because the number of thread classes is unknown
+// in advance.
+func Agglomerate(dist [][]float64, threshold float64) []int {
+	n := len(dist)
+	assign := make([]int, n)
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+		assign[i] = i
+	}
+	cdist := func(a, b []int) float64 {
+		worst := 0.0
+		for _, i := range a {
+			for _, j := range b {
+				if dist[i][j] > worst {
+					worst = dist[i][j]
+				}
+			}
+		}
+		return worst
+	}
+	for {
+		bi, bj, best := -1, -1, threshold
+		for i := 0; i < len(clusters); i++ {
+			if clusters[i] == nil {
+				continue
+			}
+			for j := i + 1; j < len(clusters); j++ {
+				if clusters[j] == nil {
+					continue
+				}
+				if d := cdist(clusters[i], clusters[j]); d <= best {
+					bi, bj, best = i, j, d
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters[bj] = nil
+	}
+	id := 0
+	for _, c := range clusters {
+		if c == nil {
+			continue
+		}
+		for _, e := range c {
+			assign[e] = id
+		}
+		id++
+	}
+	return assign
+}
+
+// iformDistance measures micro-architectural dissimilarity between two
+// iforms along the three axes of §4.4.2: functionality, operands, ALU
+// usage.
+func iformDistance(a, b isa.Op) float64 {
+	fa, fb := &isa.Table[a], &isa.Table[b]
+	d := 0.0
+	if fa.Class != fb.Class {
+		d += 1.0
+	}
+	if fa.Operands != fb.Operands {
+		d += 0.4
+	}
+	if fa.ALUHeavy != fb.ALUHeavy {
+		d += 0.4
+	}
+	if fa.Load != fb.Load {
+		d += 0.3
+	}
+	if fa.Store != fb.Store {
+		d += 0.3
+	}
+	return d
+}
+
+// ClusterIForms groups the ISA's iforms by hardware resource similarity
+// using hierarchical clustering with the given distance threshold.
+func ClusterIForms(threshold float64) [][]isa.Op {
+	n := isa.NumOps
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = iformDistance(isa.Op(i), isa.Op(j))
+		}
+	}
+	assign := Agglomerate(dist, threshold)
+	byCluster := map[int][]isa.Op{}
+	maxID := 0
+	for op, id := range assign {
+		byCluster[id] = append(byCluster[id], isa.Op(op))
+		if id > maxID {
+			maxID = id
+		}
+	}
+	out := make([][]isa.Op, 0, maxID+1)
+	for id := 0; id <= maxID; id++ {
+		if ops := byCluster[id]; len(ops) > 0 {
+			out = append(out, ops)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+// Package profile implements Ditto's profiling stage (§4 of the paper): the
+// observation-driven analyzers that reduce an application's executed
+// instruction streams (the Intel SDE role), cache working-set behaviour
+// (the Valgrind role), syscall and thread activity (the SystemTap role) and
+// distributed traces (the Jaeger role) into the platform-independent
+// AppProfile that the generator consumes. Profilers only use observation
+// APIs; they never read an application's hidden parameters.
+package profile
+
+import (
+	"encoding/json"
+
+	"ditto/internal/isa"
+	"ditto/internal/kernel"
+)
+
+// WSBin is one working-set bucket: Count events per request attributed to a
+// working set of Bytes (A_d of Eq. 1 for data, E_i of Eq. 2 for
+// instructions).
+type WSBin struct {
+	Bytes int     `json:"bytes"`
+	Count float64 `json:"count"`
+}
+
+// MixEntry is one instruction-mix cluster: a representative opcode and its
+// share of dynamic instructions.
+type MixEntry struct {
+	Op    isa.Op  `json:"op"`
+	Share float64 `json:"share"`
+}
+
+// BranchBin is one (taken rate 2^-M, transition rate 2^-N) class weight in
+// the quantized joint distribution of §4.4.3.
+type BranchBin struct {
+	M      int     `json:"m"`
+	N      int     `json:"n"`
+	Weight float64 `json:"weight"`
+}
+
+// DepBins is the number of dependency-distance buckets: distances quantized
+// in powers of two from 1 to 1024 (§4.4.6).
+const DepBins = 11
+
+// DepHist is a normalized dependency-distance histogram.
+type DepHist struct {
+	Bins [DepBins]float64 `json:"bins"`
+}
+
+// DepBinOf buckets a distance.
+func DepBinOf(d uint64) int {
+	if d < 1 {
+		d = 1
+	}
+	b := 0
+	for d > 1 && b < DepBins-1 {
+		d >>= 1
+		b++
+	}
+	return b
+}
+
+// DepBinDistance returns the representative distance of bucket b.
+func DepBinDistance(b int) int { return 1 << b }
+
+// BodyProfile is the platform-independent description of an application's
+// user-level request body.
+type BodyProfile struct {
+	InstrsPerRequest float64     `json:"instrs_per_request"`
+	Mix              []MixEntry  `json:"mix"`
+	BranchShare      float64     `json:"branch_share"`
+	MemShare         float64     `json:"mem_share"`
+	Branches         []BranchBin `json:"branches"`
+	StaticBranches   int         `json:"static_branches"`
+	RAW, WAR, WAW    DepHist     `json:"-"`
+	IWS              []WSBin     `json:"iws"` // instruction executions per i-working-set
+	DWS              []WSBin     `json:"dws"` // data accesses per d-working-set
+	RegularFrac      float64     `json:"regular_frac"`
+	PointerFrac      float64     `json:"pointer_frac"`
+	SharedFrac       float64     `json:"shared_frac"`
+	StoreFrac        float64     `json:"store_frac"` // stores per memory access
+	RepFrac          float64     `json:"rep_frac"`   // REP ops per memory access
+	RepBytesMean     float64     `json:"rep_bytes_mean"`
+}
+
+// SyscallStat is the profiled behaviour of one syscall type (§4.4.1).
+type SyscallStat struct {
+	Op             kernel.SyscallOp `json:"op"`
+	PerRequest     float64          `json:"per_request"`
+	MeanBytes      float64          `json:"mean_bytes"`
+	File           string           `json:"file"`
+	FileSize       int64            `json:"file_size"`
+	UniformOffsets bool             `json:"uniform_offsets"`
+}
+
+// SkeletonProfile describes the detected network and thread models (§4.3).
+type SkeletonProfile struct {
+	NetworkModel   string             `json:"network_model"` // "iomux", "blocking", "nonblocking"
+	Workers        int                `json:"workers"`       // long-lived request-handling threads
+	Dispatcher     bool               `json:"dispatcher"`    // accept-only thread present
+	PerConn        bool               `json:"per_conn"`      // dynamic thread per connection
+	ThreadClusters int                `json:"thread_clusters"`
+	WakeSources    map[string]float64 `json:"wake_sources"`
+}
+
+// TargetMetrics snapshots the original application's measured performance
+// counters during profiling — the fine-tuner's calibration target (§4.5).
+type TargetMetrics struct {
+	IPC         float64 `json:"ipc"`
+	BranchMiss  float64 `json:"branch_miss"`
+	L1iMiss     float64 `json:"l1i_miss"`
+	L1dMiss     float64 `json:"l1d_miss"`
+	L2Miss      float64 `json:"l2_miss"`
+	L3Miss      float64 `json:"l3_miss"`
+	KernelShare float64 `json:"kernel_share"`
+}
+
+// AppProfile is everything Ditto extracts about one application or tier.
+type AppProfile struct {
+	Name          string          `json:"name"`
+	Requests      int             `json:"requests"`
+	ReqBytesMean  float64         `json:"req_bytes_mean"`
+	RespBytesMean float64         `json:"resp_bytes_mean"`
+	Skeleton      SkeletonProfile `json:"skeleton"`
+	Syscalls      []SyscallStat   `json:"syscalls"`
+	Body          BodyProfile     `json:"body"`
+	Target        TargetMetrics   `json:"target"`
+}
+
+// MarshalJSON via the default encoder; provided as explicit helpers so the
+// CLI tools share one format.
+func (p *AppProfile) Encode() ([]byte, error) { return json.MarshalIndent(p, "", "  ") }
+
+// DecodeAppProfile parses an encoded profile.
+func DecodeAppProfile(b []byte) (*AppProfile, error) {
+	var p AppProfile
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,128 @@
+package profile
+
+import (
+	"ditto/internal/cache"
+	"ditto/internal/isa"
+)
+
+// valgrindState measures working-set behaviour exactly as §4.4.4/§4.4.5
+// prescribe: simulate caches of every power-of-two size (8-way below 1MB,
+// 16-way at and above) over the observed data-access trace and over the
+// instruction line-fetch trace, then convert hit counts to per-working-set
+// access counts via Eq. 1 and Eq. 2.
+type valgrindState struct {
+	dws *cache.WorkingSetSim
+	iws *cache.WorkingSetSim
+
+	lastPCLine uint64
+	havePC     bool
+	iFetches   uint64
+	instrs     uint64
+}
+
+func newValgrindState(maxData, maxInstr int) *valgrindState {
+	return &valgrindState{
+		dws: cache.NewWorkingSetSim(maxData),
+		iws: cache.NewWorkingSetSim(maxInstr),
+	}
+}
+
+// observe feeds one user-level instruction stream.
+func (v *valgrindState) observe(stream []isa.Instr) {
+	for i := range stream {
+		in := &stream[i]
+		v.instrs++
+		line := in.PC / isa.LineBytes
+		if !v.havePC || line != v.lastPCLine {
+			v.iws.Access(in.PC)
+			v.iFetches++
+			v.lastPCLine = line
+			v.havePC = true
+		}
+		f := &isa.Table[in.Op]
+		if (f.Load || f.Store) && !f.Rep {
+			v.dws.Access(in.Addr)
+		} else if f.Rep {
+			// A REP op sweeps its whole range, one line at a time.
+			n := int(in.RepCount)
+			if n < 1 {
+				n = 1
+			}
+			for l := 0; l < (n+isa.LineBytes-1)/isa.LineBytes; l++ {
+				v.dws.Access(in.Addr + uint64(l*isa.LineBytes))
+			}
+		}
+	}
+}
+
+// deriveDWS applies Eq. 1: A_d(64) = H_d(64), A_d(2^i) = H_d(2^i) −
+// H_d(2^(i−1)); accesses that miss even the largest simulated cache are
+// attributed to the largest working set.
+func (v *valgrindState) deriveDWS() []WSBin {
+	sizes := v.dws.Sizes()
+	hits := v.dws.Hits()
+	total := v.dws.Total()
+	if total == 0 {
+		return nil
+	}
+	bins := make([]WSBin, 0, len(sizes))
+	var prev uint64
+	for i, size := range sizes {
+		a := hits[i] - prev
+		prev = hits[i]
+		bins = append(bins, WSBin{Bytes: size, Count: float64(a)})
+	}
+	// Cold / beyond-capacity accesses land in the largest working set.
+	if miss := total - hits[len(hits)-1]; miss > 0 {
+		bins[len(bins)-1].Count += float64(miss)
+	}
+	return trimZeroBins(bins)
+}
+
+// deriveIWS applies Eq. 2: E_i(2^j) = 16·[H_i(2^j) − H_i(2^(j−1))] for
+// working sets above one line, with the 64-byte bucket absorbing the
+// remainder so that ΣE equals the total dynamic instruction count.
+func (v *valgrindState) deriveIWS() []WSBin {
+	sizes := v.iws.Sizes()
+	hits := v.iws.Hits()
+	if v.instrs == 0 {
+		return nil
+	}
+	bins := make([]WSBin, len(sizes))
+	var sumAbove float64
+	for j := len(sizes) - 1; j >= 1; j-- {
+		e := float64(isa.InstrsPerLine) * float64(hits[j]-hits[j-1])
+		bins[j] = WSBin{Bytes: sizes[j], Count: e}
+		sumAbove += e
+	}
+	// Misses beyond the largest simulated i-cache: attribute to largest WS.
+	if miss := v.iFetches - hits[len(hits)-1]; miss > 0 {
+		e := float64(isa.InstrsPerLine) * float64(miss)
+		bins[len(bins)-1].Count += e
+		sumAbove += e
+	}
+	e64 := float64(v.instrs) - sumAbove
+	if e64 < 0 {
+		// Short fetch runs (jumpy code executes fewer than 16 instructions
+		// per fetched line) over-attribute executions; renormalize so that
+		// ΣE_i equals the dynamic instruction count Eq. 2 conserves.
+		scale := float64(v.instrs) / sumAbove
+		for j := range bins {
+			bins[j].Count *= scale
+		}
+		e64 = 0
+	}
+	bins[0] = WSBin{Bytes: sizes[0], Count: e64}
+	return trimZeroBins(bins)
+}
+
+// trimZeroBins drops empty buckets.
+func trimZeroBins(bins []WSBin) []WSBin {
+	out := bins[:0]
+	for _, b := range bins {
+		if b.Count > 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Rand is the deterministic random source used throughout the simulator.
+// It wraps math/rand so a single seed reproduces a whole experiment.
+type Rand struct{ *rand.Rand }
+
+// NewRand returns a deterministic source seeded with seed.
+func NewRand(seed int64) *Rand { return &Rand{rand.New(rand.NewSource(seed))} }
+
+// Fork derives an independent stream labeled by id, so components can draw
+// without perturbing each other's sequences.
+func (r *Rand) Fork(id int64) *Rand {
+	mixed := uint64(id) * 0x9E3779B97F4A7C15
+	return NewRand(r.Int63() ^ int64(mixed>>1))
+}
+
+// Exp draws an exponential variate with the given mean.
+func (r *Rand) Exp(mean float64) float64 { return r.ExpFloat64() * mean }
+
+// LogNormal draws a log-normal variate with location mu and scale sigma.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Pareto draws a bounded Pareto variate with minimum xm and shape alpha.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return xm / math.Pow(1-u, 1/alpha)
+}
+
+// Zipf draws integers in [0, n) with Zipfian skew s (s > 1 behaves like
+// rand.Zipf; s == 0 is uniform). Used by the YCSB-style load generators.
+type Zipf struct {
+	n   uint64
+	z   *rand.Zipf
+	rng *Rand
+}
+
+// NewZipf builds a Zipf sampler over [0,n) with skew s (use s≈1.01 for the
+// classic YCSB zipfian, 0 for uniform).
+func NewZipf(r *Rand, s float64, n uint64) *Zipf {
+	if n == 0 {
+		n = 1
+	}
+	if s <= 1 {
+		return &Zipf{n: n, rng: r}
+	}
+	return &Zipf{n: n, z: rand.NewZipf(r.Rand, s, 1, n-1), rng: r}
+}
+
+// Next draws the next key.
+func (z *Zipf) Next() uint64 {
+	if z.z == nil {
+		return uint64(z.rng.Int63n(int64(z.n)))
+	}
+	return z.z.Uint64()
+}
+
+// Categorical samples indices according to a fixed weight vector.
+type Categorical struct {
+	cum []float64
+}
+
+// NewCategorical normalizes weights into a sampler. Zero or negative
+// weights are treated as 0; an all-zero vector samples uniformly.
+func NewCategorical(weights []float64) *Categorical {
+	cum := make([]float64, len(weights))
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	run := 0.0
+	for i, w := range weights {
+		if total == 0 {
+			run += 1 / float64(len(weights))
+		} else if w > 0 {
+			run += w / total
+		}
+		cum[i] = run
+	}
+	if len(cum) > 0 {
+		cum[len(cum)-1] = 1
+	}
+	return &Categorical{cum: cum}
+}
+
+// Len reports the number of categories.
+func (c *Categorical) Len() int { return len(c.cum) }
+
+// Sample draws one category index using r.
+func (c *Categorical) Sample(r *Rand) int {
+	if len(c.cum) == 0 {
+		return 0
+	}
+	u := r.Float64()
+	lo, hi := 0, len(c.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewRand(7)
+	b := NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(7).Fork(1)
+	d := NewRand(7).Fork(2)
+	same := true
+	for i := 0; i < 16; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("forked streams identical")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(1)
+	var w Running
+	for i := 0; i < 50000; i++ {
+		w.Add(r.Exp(10))
+	}
+	if math.Abs(w.Mean()-10) > 0.5 {
+		t.Fatalf("Exp mean = %v, want ~10", w.Mean())
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRand(2)
+	for i := 0; i < 1000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("lognormal must be positive")
+		}
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Pareto(2, 1.5)
+		if v < 2 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestZipfSkewAndUniform(t *testing.T) {
+	r := NewRand(4)
+	z := NewZipf(r, 1.2, 1000)
+	counts := map[uint64]int{}
+	for i := 0; i < 20000; i++ {
+		k := z.Next()
+		if k >= 1000 {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[0] <= counts[500]*2 {
+		t.Fatalf("Zipf not skewed: c0=%d c500=%d", counts[0], counts[500])
+	}
+	u := NewZipf(r, 0, 100)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		k := u.Next()
+		if k >= 100 {
+			t.Fatalf("uniform out of range: %d", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 90 {
+		t.Fatalf("uniform coverage too low: %d", len(seen))
+	}
+	one := NewZipf(r, 0, 0) // n=0 clamps to 1
+	if one.Next() != 0 {
+		t.Fatal("n=0 zipf should always return 0")
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := NewRand(5)
+	c := NewCategorical([]float64{1, 0, 3})
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 40000; i++ {
+		counts[c.Sample(r)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category sampled %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Fatalf("weight ratio = %v, want ~3", ratio)
+	}
+	// All-zero weights: uniform.
+	u := NewCategorical([]float64{0, 0})
+	c0, c1 := 0, 0
+	for i := 0; i < 10000; i++ {
+		if u.Sample(r) == 0 {
+			c0++
+		} else {
+			c1++
+		}
+	}
+	if c0 == 0 || c1 == 0 {
+		t.Fatal("all-zero weights should sample uniformly")
+	}
+	empty := NewCategorical(nil)
+	if empty.Sample(r) != 0 {
+		t.Fatal("empty categorical should return 0")
+	}
+}

@@ -1,0 +1,235 @@
+// Package stats provides the statistical primitives shared across the
+// simulator and the Ditto pipeline: latency recorders with exact
+// percentiles, running moments, histograms with log-scale quantization
+// (the paper quantizes branch rates and dependency distances in log scale),
+// and error metrics used by the validation harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Recorder collects float64 samples and answers percentile queries exactly.
+// The zero value is ready to use.
+type Recorder struct {
+	samples []float64
+	sorted  bool
+	sum     float64
+}
+
+// Add records one sample.
+func (r *Recorder) Add(v float64) {
+	r.samples = append(r.samples, v)
+	r.sorted = false
+	r.sum += v
+}
+
+// Count reports the number of recorded samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+// Sum reports the total of the recorded samples.
+func (r *Recorder) Sum() float64 { return r.sum }
+
+// Mean reports the arithmetic mean, or 0 with no samples.
+func (r *Recorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / float64(len(r.samples))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks. With no samples it returns 0.
+func (r *Recorder) Percentile(p float64) float64 {
+	n := len(r.samples)
+	if n == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+	if p <= 0 {
+		return r.samples[0]
+	}
+	if p >= 100 {
+		return r.samples[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return r.samples[lo]
+	}
+	frac := rank - float64(lo)
+	return r.samples[lo]*(1-frac) + r.samples[hi]*frac
+}
+
+// Max returns the largest sample, or 0 with none.
+func (r *Recorder) Max() float64 { return r.Percentile(100) }
+
+// Min returns the smallest sample, or 0 with none.
+func (r *Recorder) Min() float64 { return r.Percentile(0) }
+
+// Reset discards all samples.
+func (r *Recorder) Reset() {
+	r.samples = r.samples[:0]
+	r.sorted = false
+	r.sum = 0
+}
+
+// Running tracks mean and variance incrementally (Welford's algorithm).
+// The zero value is ready to use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Running) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count reports the number of observations.
+func (w *Running) Count() int64 { return w.n }
+
+// Mean reports the running mean.
+func (w *Running) Mean() float64 { return w.mean }
+
+// Variance reports the population variance.
+func (w *Running) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev reports the population standard deviation.
+func (w *Running) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Histogram is a fixed set of named-bucket counts keyed by int. It is used
+// for the log-quantized distributions the paper profiles (branch rates,
+// dependency distances, working-set sizes).
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{counts: map[int]int64{}} }
+
+// Add increments bucket by n.
+func (h *Histogram) Add(bucket int, n int64) {
+	if h.counts == nil {
+		h.counts = map[int]int64{}
+	}
+	h.counts[bucket] += n
+	h.total += n
+}
+
+// Count reports the count in bucket.
+func (h *Histogram) Count(bucket int) int64 { return h.counts[bucket] }
+
+// Total reports the total count across all buckets.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Buckets returns the populated bucket keys in ascending order.
+func (h *Histogram) Buckets() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Fraction reports bucket's share of the total, or 0 for an empty histogram.
+func (h *Histogram) Fraction(bucket int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[bucket]) / float64(h.total)
+}
+
+// Probabilities returns the normalized distribution over populated buckets,
+// keys ascending, values summing to 1 (for a non-empty histogram).
+func (h *Histogram) Probabilities() (buckets []int, probs []float64) {
+	buckets = h.Buckets()
+	probs = make([]float64, len(buckets))
+	for i, b := range buckets {
+		probs[i] = h.Fraction(b)
+	}
+	return buckets, probs
+}
+
+// QuantizeLog2 maps a positive value to floor(log2(v)); values < 1 map to
+// negative buckets. It is the paper's log-scale quantization primitive.
+func QuantizeLog2(v float64) int {
+	if v <= 0 {
+		return math.MinInt32
+	}
+	return int(math.Floor(math.Log2(v)))
+}
+
+// QuantizeRateLog2 maps a rate in (0,1] to its 2^-k bucket index k, clamped
+// to [1,10] as the paper does for branch taken and transition rates
+// ("from 2^-1 to 2^-10").
+func QuantizeRateLog2(rate float64) int {
+	if rate <= 0 {
+		return 10
+	}
+	k := int(math.Round(-math.Log2(rate)))
+	if k < 1 {
+		k = 1
+	}
+	if k > 10 {
+		k = 10
+	}
+	return k
+}
+
+// AbsPctErr reports |got-want|/|want| in percent. A zero want with a zero
+// got is 0%; a zero want with nonzero got is 100%.
+func AbsPctErr(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 100
+	}
+	return math.Abs(got-want) / math.Abs(want) * 100
+}
+
+// MAPE reports the mean absolute percentage error across paired slices.
+// It panics if the slices differ in length.
+func MAPE(got, want []float64) float64 {
+	if len(got) != len(want) {
+		panic(fmt.Sprintf("stats: MAPE length mismatch %d vs %d", len(got), len(want)))
+	}
+	if len(got) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range got {
+		s += AbsPctErr(got[i], want[i])
+	}
+	return s / float64(len(got))
+}
+
+// Mean reports the arithmetic mean of xs, or 0 when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

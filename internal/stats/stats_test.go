@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	var r Recorder
+	if r.Percentile(50) != 0 || r.Mean() != 0 {
+		t.Fatal("empty recorder should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		r.Add(float64(i))
+	}
+	if r.Count() != 100 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if got := r.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := r.Percentile(0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := r.Percentile(100); got != 100 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := r.Percentile(50); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := r.Percentile(99); math.Abs(got-99.01) > 0.2 {
+		t.Fatalf("p99 = %v", got)
+	}
+	r.Reset()
+	if r.Count() != 0 || r.Sum() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestRecorderInterleavedAddQuery(t *testing.T) {
+	var r Recorder
+	r.Add(5)
+	_ = r.Percentile(50)
+	r.Add(1) // must re-sort after a query
+	if got := r.Percentile(0); got != 1 {
+		t.Fatalf("min after interleaved add = %v", got)
+	}
+}
+
+// Property: Percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var r Recorder
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			r.Add(v)
+		}
+		pa := math.Mod(math.Abs(a), 100)
+		pb := math.Mod(math.Abs(b), 100)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := r.Percentile(pa), r.Percentile(pb)
+		return va <= vb+1e-9 && va >= r.Min()-1e-9 && vb <= r.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Percentile(50) matches the exact median computed independently.
+func TestMedianMatchesSortProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var r Recorder
+		fs := make([]float64, len(vals))
+		for i, v := range vals {
+			fs[i] = float64(v)
+			r.Add(float64(v))
+		}
+		sort.Float64s(fs)
+		n := len(fs)
+		var want float64
+		if n%2 == 1 {
+			want = fs[n/2]
+		} else {
+			want = (fs[n/2-1] + fs[n/2]) / 2
+		}
+		return math.Abs(r.Percentile(50)-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var w Running
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-9 {
+		t.Fatalf("Mean = %v", w.Mean())
+	}
+	if math.Abs(w.StdDev()-2) > 1e-9 {
+		t.Fatalf("StdDev = %v", w.StdDev())
+	}
+	var one Running
+	one.Add(3)
+	if one.Variance() != 0 {
+		t.Fatal("single-sample variance should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1, 3)
+	h.Add(5, 1)
+	h.Add(1, 1)
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Count(1) != 4 {
+		t.Fatalf("Count(1) = %d", h.Count(1))
+	}
+	bs := h.Buckets()
+	if len(bs) != 2 || bs[0] != 1 || bs[1] != 5 {
+		t.Fatalf("Buckets = %v", bs)
+	}
+	if math.Abs(h.Fraction(1)-0.8) > 1e-9 {
+		t.Fatalf("Fraction(1) = %v", h.Fraction(1))
+	}
+	buckets, probs := h.Probabilities()
+	var sum float64
+	for _, p := range probs {
+		sum += p
+	}
+	if len(buckets) != 2 || math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Probabilities sum = %v", sum)
+	}
+	var zero Histogram
+	zero.Add(2, 1) // zero value usable
+	if zero.Total() != 1 {
+		t.Fatal("zero-value histogram Add failed")
+	}
+	if zero.Fraction(3) != 0 {
+		t.Fatal("missing bucket fraction should be 0")
+	}
+}
+
+func TestQuantizeLog2(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{1, 0}, {2, 1}, {3, 1}, {4, 2}, {1024, 10}, {0.5, -1},
+	}
+	for _, c := range cases {
+		if got := QuantizeLog2(c.v); got != c.want {
+			t.Errorf("QuantizeLog2(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if QuantizeLog2(0) != math.MinInt32 {
+		t.Error("QuantizeLog2(0) should be MinInt32")
+	}
+}
+
+func TestQuantizeRateLog2(t *testing.T) {
+	if got := QuantizeRateLog2(0.5); got != 1 {
+		t.Fatalf("0.5 -> %d", got)
+	}
+	if got := QuantizeRateLog2(0.25); got != 2 {
+		t.Fatalf("0.25 -> %d", got)
+	}
+	if got := QuantizeRateLog2(1.0 / 1024); got != 10 {
+		t.Fatalf("2^-10 -> %d", got)
+	}
+	if got := QuantizeRateLog2(0.9); got != 1 {
+		t.Fatalf("0.9 should clamp to 1, got %d", got)
+	}
+	if got := QuantizeRateLog2(1e-9); got != 10 {
+		t.Fatalf("tiny rate should clamp to 10, got %d", got)
+	}
+	if got := QuantizeRateLog2(0); got != 10 {
+		t.Fatalf("zero rate should clamp to 10, got %d", got)
+	}
+}
+
+func TestErrorMetrics(t *testing.T) {
+	if got := AbsPctErr(110, 100); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("AbsPctErr = %v", got)
+	}
+	if AbsPctErr(0, 0) != 0 {
+		t.Fatal("0/0 should be 0%")
+	}
+	if AbsPctErr(5, 0) != 100 {
+		t.Fatal("x/0 should be 100%")
+	}
+	got := MAPE([]float64{110, 90}, []float64{100, 100})
+	if math.Abs(got-10) > 1e-9 {
+		t.Fatalf("MAPE = %v", got)
+	}
+	if MAPE(nil, nil) != 0 {
+		t.Fatal("empty MAPE should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MAPE length mismatch should panic")
+		}
+	}()
+	MAPE([]float64{1}, []float64{1, 2})
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Mean = %v", got)
+	}
+}

@@ -1,0 +1,114 @@
+// Package synth is the runtime for Ditto-generated applications: it
+// executes a core.SynthSpec as a real server (or microservice tier) on the
+// simulated platform — the equivalent of compiling and running the C +
+// inline-assembly programs the paper's generator emits.
+package synth
+
+import (
+	"ditto/internal/branch"
+	"ditto/internal/core"
+	"ditto/internal/isa"
+	"ditto/internal/stats"
+)
+
+// Body executes a generated BodySpec, implementing app.Body. Each Body owns
+// mutable runtime state (branch counters, region sweep cursors, fractional
+// loop accumulators); create one per worker thread, as generated C code
+// would instantiate its state per thread.
+type Body struct {
+	spec      *core.BodySpec
+	arrayBase uint64
+	branches  [][]*branch.BitmaskBranch // per block, per slot (nil: not a branch)
+	loopAcc   []float64
+	cursors   []uint64 // per region sequential sweep positions
+	scramble  uint64
+}
+
+// NewBody instantiates runtime state for spec. arrayBase is where the
+// synthetic data array lives in the owning process's address space.
+func NewBody(spec *core.BodySpec, arrayBase uint64, seed int64) *Body {
+	b := &Body{
+		spec:      spec,
+		arrayBase: arrayBase,
+		loopAcc:   make([]float64, len(spec.Blocks)),
+		cursors:   make([]uint64, len(spec.Regions)),
+		scramble:  uint64(seed)*0x9E3779B97F4A7C15 + 0x1234,
+	}
+	rng := stats.NewRand(seed ^ 0x5EED)
+	b.branches = make([][]*branch.BitmaskBranch, len(spec.Blocks))
+	for bi := range spec.Blocks {
+		blk := &spec.Blocks[bi]
+		bb := make([]*branch.BitmaskBranch, len(blk.Instrs))
+		for s := range blk.Aux {
+			if blk.Aux[s].IsBranch {
+				br := branch.NewBitmaskBranch(blk.Aux[s].M, blk.Aux[s].N)
+				br.SetPhase(rng.Uint64() % (1 << 11))
+				bb[s] = br
+			}
+		}
+		b.branches[bi] = bb
+	}
+	return b
+}
+
+// EmitRequest implements app.Body: one request's worth of block loop
+// iterations. The kind is ignored — generated bodies are statistical, not
+// per-operation (tiers scale work through learned call plans instead).
+func (b *Body) EmitRequest(kind int, buf []isa.Instr) []isa.Instr {
+	for bi := range b.spec.Blocks {
+		blk := &b.spec.Blocks[bi]
+		b.loopAcc[bi] += blk.LoopsPerRequest
+		loops := int(b.loopAcc[bi])
+		b.loopAcc[bi] -= float64(loops)
+		for l := 0; l < loops; l++ {
+			buf = b.emitBlock(bi, blk, buf)
+		}
+	}
+	return buf
+}
+
+// emitBlock walks the block's static code once.
+func (b *Body) emitBlock(bi int, blk *core.Block, buf []isa.Instr) []isa.Instr {
+	branches := b.branches[bi]
+	for s := range blk.Instrs {
+		in := blk.Instrs[s]
+		aux := &blk.Aux[s]
+		switch {
+		case aux.IsBranch:
+			in.Taken = branches[s].Next()
+		case aux.IsMem:
+			in.Addr = b.address(aux, in.RepCount)
+		}
+		buf = append(buf, in)
+	}
+	return buf
+}
+
+// address produces the next address for a memory slot: a sequential sweep
+// within the slot's region (the Fig. 4 pattern that guarantees the Eq. 1
+// hit/miss behaviour), or a scrambled in-region offset for the irregular
+// share.
+func (b *Body) address(aux *core.SlotAux, repCount int32) uint64 {
+	if len(b.spec.Regions) == 0 {
+		return b.arrayBase
+	}
+	ri := aux.Region
+	if ri >= len(b.spec.Regions) {
+		ri = len(b.spec.Regions) - 1
+	}
+	reg := &b.spec.Regions[ri]
+	if aux.Regular {
+		step := uint64(isa.LineBytes)
+		if aux.IsRep && repCount > 0 {
+			step = uint64(repCount)
+		}
+		c := b.cursors[ri]
+		b.cursors[ri] = (c + step) % reg.Span
+		return b.arrayBase + reg.Start + c%reg.Span
+	}
+	b.scramble ^= b.scramble >> 12
+	b.scramble ^= b.scramble << 25
+	b.scramble ^= b.scramble >> 27
+	off := (b.scramble * 0x2545F4914F6CDD1D) % reg.Span &^ 63
+	return b.arrayBase + reg.Start + off
+}

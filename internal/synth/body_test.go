@@ -1,0 +1,204 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"ditto/internal/core"
+	"ditto/internal/isa"
+	"ditto/internal/kernel"
+	"ditto/internal/profile"
+)
+
+func specFixture() *core.SynthSpec {
+	prof := &profile.AppProfile{
+		Name:          "fix",
+		ReqBytesMean:  64,
+		RespBytesMean: 512,
+		Skeleton:      profile.SkeletonProfile{NetworkModel: "iomux", Workers: 1},
+	}
+	b := &prof.Body
+	b.InstrsPerRequest = 3000
+	b.Mix = []profile.MixEntry{{Op: isa.ADDrr, Share: 0.6}, {Op: isa.IMULrr, Share: 0.2},
+		{Op: isa.CRC32rr, Share: 0.2}}
+	b.BranchShare = 0.1
+	b.MemShare = 0.3
+	b.StoreFrac = 0.3
+	b.Branches = []profile.BranchBin{{M: 2, N: 3, Weight: 1}}
+	b.IWS = []profile.WSBin{{Bytes: 1024, Count: 2000}, {Bytes: 16384, Count: 1000}}
+	b.DWS = []profile.WSBin{{Bytes: 4096, Count: 500}, {Bytes: 256 << 10, Count: 400}}
+	b.RegularFrac = 1.0
+	b.RAW.Bins[2] = 1
+	b.WAW.Bins[2] = 1
+	b.WAR.Bins[2] = 1
+	return core.Generate(prof, 5)
+}
+
+func TestBodyEmitBudget(t *testing.T) {
+	spec := specFixture()
+	body := NewBody(&spec.Body, 1<<36, 9)
+	var total int
+	const reqs = 50
+	for r := 0; r < reqs; r++ {
+		total += len(body.EmitRequest(0, nil))
+	}
+	per := float64(total) / reqs
+	if math.Abs(per-3000) > 600 {
+		t.Fatalf("instrs/request = %v, want ≈ 3000", per)
+	}
+}
+
+func TestBodyAddressesStayInArray(t *testing.T) {
+	spec := specFixture()
+	base := uint64(1) << 36
+	body := NewBody(&spec.Body, base, 9)
+	for r := 0; r < 20; r++ {
+		for _, in := range body.EmitRequest(0, nil) {
+			f := &isa.Table[in.Op]
+			if !(f.Load || f.Store) {
+				continue
+			}
+			if in.Addr < base || in.Addr >= base+spec.Body.ArrayBytes {
+				t.Fatalf("address %#x outside data array [%#x, %#x)",
+					in.Addr, base, base+spec.Body.ArrayBytes)
+			}
+		}
+	}
+}
+
+// The Fig. 4 guarantee carried into the runtime: regular accesses for the
+// region of working set W sweep [W/2, W) sequentially.
+func TestBodyRegionSweep(t *testing.T) {
+	spec := specFixture()
+	base := uint64(1) << 36
+	body := NewBody(&spec.Body, base, 9)
+	// Find the 256KB region.
+	var reg core.Region
+	for _, r := range spec.Body.Regions {
+		if r.WSBytes == 256<<10 {
+			reg = r
+		}
+	}
+	if reg.WSBytes == 0 {
+		t.Fatal("region missing")
+	}
+	lo, hi := base+reg.Start, base+reg.Start+reg.Span
+	seen := 0
+	for r := 0; r < 30; r++ {
+		for _, in := range body.EmitRequest(0, nil) {
+			f := &isa.Table[in.Op]
+			if (f.Load || f.Store) && in.Addr >= lo && in.Addr < hi {
+				seen++
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no accesses landed in the large region")
+	}
+}
+
+func TestBodyBranchOutcomesMatchMN(t *testing.T) {
+	spec := specFixture()
+	body := NewBody(&spec.Body, 1<<36, 9)
+	taken, total := 0, 0
+	for r := 0; r < 40; r++ {
+		for _, in := range body.EmitRequest(0, nil) {
+			if in.BranchID >= 0 {
+				total++
+				if in.Taken {
+					taken++
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no branches emitted")
+	}
+	rate := float64(taken) / float64(total)
+	if math.Abs(rate-0.25) > 0.08 {
+		t.Fatalf("taken rate = %v, want ≈ 2^-2", rate)
+	}
+}
+
+func TestBodyDeterminism(t *testing.T) {
+	spec := specFixture()
+	a := NewBody(&spec.Body, 1<<36, 9)
+	b := NewBody(&spec.Body, 1<<36, 9)
+	sa := a.EmitRequest(0, nil)
+	sb := b.EmitRequest(0, nil)
+	if len(sa) != len(sb) {
+		t.Fatal("lengths differ")
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("instr %d differs", i)
+		}
+	}
+}
+
+func TestServerSkeletonVariants(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		mutate  func(*core.SynthSpec)
+		threads int
+	}{
+		{name: "eventloop", mutate: func(s *core.SynthSpec) {
+			s.Skeleton.Workers = 1
+		}, threads: 1},
+		{name: "dispatcher-pool", mutate: func(s *core.SynthSpec) {
+			s.Skeleton.Workers = 3
+			s.Skeleton.Dispatcher = true
+		}, threads: 4},
+		{name: "per-conn", mutate: func(s *core.SynthSpec) {
+			s.Skeleton.PerConn = true
+		}, threads: 3}, // acceptor + one per connection (2 conns)
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := specFixture()
+			tc.mutate(spec)
+			env := newTestEnv(t)
+			defer env.shutdown()
+			s := NewServer(env.server, 9200, spec, 3)
+			s.Start()
+			served := env.drive(t, 9200, 2, 10)
+			if served != 20 {
+				t.Fatalf("served %d of 20", served)
+			}
+			if got := s.Proc().SpawnedThreads(); got != tc.threads {
+				t.Fatalf("threads = %d, want %d", got, tc.threads)
+			}
+		})
+	}
+}
+
+func TestServerSyscallReplay(t *testing.T) {
+	spec := specFixture()
+	spec.Syscalls = []core.SyscallPlan{
+		{Op: kernel.SysOpen, PerRequest: 1},
+		{Op: kernel.SysPread, PerRequest: 1, Bytes: 16384, FileSize: 1 << 28, UniformOffsets: true},
+		{Op: kernel.SysClose, PerRequest: 1},
+	}
+	env := newTestEnv(t)
+	defer env.shutdown()
+	s := NewServer(env.server, 9200, spec, 3)
+	s.Start()
+	var preads int
+	env.server.Kernel.ObserveSyscalls(func(ev kernel.SyscallEvent) {
+		if ev.Proc == spec.Name && ev.Op == kernel.SysPread {
+			preads++
+			if ev.Bytes != 16384 {
+				t.Errorf("pread bytes = %d", ev.Bytes)
+			}
+		}
+	})
+	served := env.drive(t, 9200, 2, 10)
+	if served != 20 {
+		t.Fatalf("served %d", served)
+	}
+	if preads != 20 {
+		t.Fatalf("preads = %d, want one per request", preads)
+	}
+	if s.Proc().DiskReadBytes == 0 {
+		t.Fatal("uniform preads over 256MB should miss the page cache")
+	}
+}

@@ -1,0 +1,183 @@
+package synth
+
+import (
+	"fmt"
+
+	"ditto/internal/app"
+	"ditto/internal/core"
+	"ditto/internal/kernel"
+	"ditto/internal/platform"
+	"ditto/internal/stats"
+)
+
+// Server runs a generated SynthSpec as a standalone server application. Its
+// skeleton is instantiated from the profile-detected network and thread
+// models (§4.3), its handlers replay the profiled syscall plan and execute
+// the generated body, and its responses carry the profiled response size.
+type Server struct {
+	app.Base
+	Spec *core.SynthSpec
+
+	bodies map[int]*Body // per worker
+	file   *kernel.File
+	offRng *stats.Rand
+	sysAcc map[int][]float64 // per worker, per plan entry
+}
+
+// NewServer builds the synthetic server on m.
+func NewServer(m *platform.Machine, port int, spec *core.SynthSpec, seed int64) *Server {
+	s := &Server{
+		Spec:   spec,
+		bodies: map[int]*Body{},
+		offRng: stats.NewRand(seed ^ 0x0FF5E7),
+		sysAcc: map[int][]float64{},
+	}
+	s.Base = app.NewBaseFor(spec.Name, m, port, seed)
+	return s
+}
+
+// body returns worker w's body instance.
+func (s *Server) body(w int) *Body {
+	b := s.bodies[w]
+	if b == nil {
+		b = NewBody(&s.Spec.Body, s.P.MemBase+uint64(w+1)<<32, s.Seed+int64(w))
+		s.bodies[w] = b
+	}
+	return b
+}
+
+// Start instantiates the skeleton and launches threads.
+func (s *Server) Start() {
+	// Synthetic dataset for file-syscall replay.
+	var maxFile int64
+	for _, p := range s.Spec.Syscalls {
+		if p.FileSize > maxFile {
+			maxFile = p.FileSize
+		}
+	}
+	if maxFile > 0 {
+		s.file = s.M.Kernel.CreateFile("/data/"+s.Spec.Name+".synth", maxFile)
+	}
+
+	sk := s.Spec.Skeleton
+	switch {
+	case sk.PerConn:
+		s.P.Spawn("acceptor", func(th *kernel.Thread) {
+			l := th.Listen(s.ListenPort)
+			app.ConnPerThreadLoop(th, l, func(th *kernel.Thread, c *kernel.Endpoint, m kernel.Msg) {
+				s.handle(th, 0, c, m)
+			})
+		})
+	case sk.Workers > 1:
+		// Dispatcher + fixed worker pool over per-worker epoll sets.
+		epolls := make([]*kernel.Epoll, sk.Workers)
+		for w := range epolls {
+			epolls[w] = s.M.Kernel.NewEpoll()
+		}
+		s.P.Spawn("dispatcher", func(th *kernel.Thread) {
+			l := th.Listen(s.ListenPort)
+			next := 0
+			for {
+				conn := th.Accept(l)
+				th.EpollAdd(epolls[next%sk.Workers], conn)
+				next++
+			}
+		})
+		for w := 0; w < sk.Workers; w++ {
+			w := w
+			s.P.Spawn(fmt.Sprintf("worker-%d", w), func(th *kernel.Thread) {
+				for {
+					for _, r := range th.EpollWait(epolls[w]) {
+						for r.Conn != nil && r.Conn.Pending() > 0 {
+							msg, ok := th.TryRecv(r.Conn)
+							if !ok {
+								break
+							}
+							s.handle(th, w, r.Conn, msg)
+						}
+					}
+				}
+			})
+		}
+	default:
+		s.P.Spawn("eventloop", func(th *kernel.Thread) {
+			l := th.Listen(s.ListenPort)
+			app.EventLoop(th, l, func(th *kernel.Thread, c *kernel.Endpoint, m kernel.Msg) {
+				s.handle(th, 0, c, m)
+			})
+		})
+	}
+}
+
+// handle serves one synthetic request: syscall replay, body, response.
+func (s *Server) handle(th *kernel.Thread, w int, conn *kernel.Endpoint, msg kernel.Msg) {
+	s.replaySyscalls(th, w)
+	th.Run(s.body(w).EmitRequest(0, nil))
+	resp := s.Spec.RespBytes
+	if resp <= 0 {
+		resp = 64
+	}
+	th.Send(conn, resp, msg.Payload)
+}
+
+// replaySyscalls issues the planned syscalls at their per-request rates,
+// carrying fractional rates across requests deterministically.
+func (s *Server) replaySyscalls(th *kernel.Thread, w int) {
+	acc := s.sysAcc[w]
+	if acc == nil {
+		acc = make([]float64, len(s.Spec.Syscalls))
+		s.sysAcc[w] = acc
+	}
+	var fd *kernel.FD
+	for i, p := range s.Spec.Syscalls {
+		acc[i] += p.PerRequest
+		n := int(acc[i])
+		acc[i] -= float64(n)
+		for ; n > 0; n-- {
+			switch p.Op {
+			case kernel.SysOpen:
+				if s.file != nil {
+					fd = th.Open(s.file.Name)
+				}
+			case kernel.SysPread:
+				if s.file == nil {
+					continue
+				}
+				f := fd
+				if f == nil {
+					f = th.Open(s.file.Name)
+				}
+				off := int64(0)
+				if p.UniformOffsets && p.FileSize > int64(p.Bytes) {
+					off = s.offRng.Int63n((p.FileSize-int64(p.Bytes))/kernel.PageBytes) * kernel.PageBytes
+				}
+				th.Pread(f, p.Bytes, off)
+				if fd == nil {
+					th.CloseFD(f)
+				}
+			case kernel.SysWrite:
+				if s.file == nil {
+					continue
+				}
+				f := fd
+				if f == nil {
+					f = th.Open(s.file.Name)
+				}
+				th.WriteFile(f, p.Bytes, 0)
+				if fd == nil {
+					th.CloseFD(f)
+				}
+			case kernel.SysClose:
+				if fd != nil {
+					th.CloseFD(fd)
+					fd = nil
+				}
+			case kernel.SysMmap:
+				// Address-space management: charge the syscall only.
+			}
+		}
+	}
+	if fd != nil {
+		th.CloseFD(fd)
+	}
+}

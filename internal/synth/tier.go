@@ -1,0 +1,66 @@
+package synth
+
+import (
+	"ditto/internal/app"
+	"ditto/internal/core"
+	"ditto/internal/kernel"
+	"ditto/internal/platform"
+	"ditto/internal/stats"
+)
+
+// NewTier builds a synthetic microservice tier: an app.Tier whose body is a
+// generated Body, whose downstream call plan comes from the learned
+// topology, and whose storage syscalls replay the profiled plan. This is
+// how Ditto replaces every tier of the Social Network in Fig. 6.
+func NewTier(m *platform.Machine, port int, spec *core.SynthSpec,
+	plan *core.TierPlan, reg app.Registry, seed int64) *app.Tier {
+
+	model := "epoll"
+	if spec.Skeleton.PerConn {
+		model = "pool"
+	}
+	resp := plan.RespBytes
+	if resp <= 0 {
+		resp = spec.RespBytes
+	}
+	cfg := app.TierConfig{
+		Name:      plan.Service + "-synth",
+		Port:      port,
+		Model:     model,
+		RespBytes: resp,
+		Calls:     plan.Calls,
+		Seed:      seed,
+	}
+	t := app.NewTier(m, cfg, nil)
+	t.Body = NewBody(&spec.Body, t.P.MemBase+1<<32, seed)
+	t.Registry = reg
+
+	// File-syscall replay (storage tiers).
+	var pread *core.SyscallPlan
+	for i := range spec.Syscalls {
+		if spec.Syscalls[i].Op == kernel.SysPread && spec.Syscalls[i].FileSize > 0 {
+			pread = &spec.Syscalls[i]
+		}
+	}
+	if pread != nil {
+		file := m.Kernel.CreateFile("/data/"+cfg.Name+".synth", pread.FileSize)
+		rng := stats.NewRand(seed ^ 0x10)
+		rate := pread.PerRequest
+		acc := 0.0
+		p := *pread
+		t.PostWork = func(th *kernel.Thread, kind int) {
+			acc += rate
+			for acc >= 1 {
+				acc--
+				off := int64(0)
+				if p.UniformOffsets && p.FileSize > int64(p.Bytes) {
+					off = rng.Int63n((p.FileSize-int64(p.Bytes))/kernel.PageBytes) * kernel.PageBytes
+				}
+				fd := th.Open(file.Name)
+				th.Pread(fd, p.Bytes, off)
+				th.CloseFD(fd)
+			}
+		}
+	}
+	return t
+}

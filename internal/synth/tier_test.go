@@ -1,0 +1,63 @@
+package synth
+
+import (
+	"testing"
+
+	"ditto/internal/app"
+	"ditto/internal/core"
+	"ditto/internal/kernel"
+)
+
+func TestNewTierWiring(t *testing.T) {
+	spec := specFixture()
+	spec.Skeleton.PerConn = true
+	spec.Syscalls = []core.SyscallPlan{
+		{Op: kernel.SysPread, PerRequest: 0.5, Bytes: 8192, FileSize: 1 << 28, UniformOffsets: true},
+	}
+	plan := &core.TierPlan{Service: "store", RespBytes: 2048,
+		Calls: map[int][]app.Call{}}
+
+	env := newTestEnv(t)
+	defer env.shutdown()
+	tier := NewTier(env.server, 9300, spec, plan, nil, 4)
+	if tier.Cfg.Model != "pool" {
+		t.Fatalf("per-conn skeleton should map to pool model: %q", tier.Cfg.Model)
+	}
+	if tier.Cfg.RespBytes != 2048 {
+		t.Fatalf("resp bytes = %d, want plan override", tier.Cfg.RespBytes)
+	}
+	if tier.Cfg.Name != "store-synth" {
+		t.Fatalf("name = %q", tier.Cfg.Name)
+	}
+	if tier.PostWork == nil {
+		t.Fatal("pread plan should install PostWork")
+	}
+	tier.Start()
+	served := env.drive(t, 9300, 2, 20)
+	if served != 40 {
+		t.Fatalf("served %d", served)
+	}
+	// 0.5 preads/request over 256MB uniform: roughly half the requests hit
+	// the disk through the synthetic dataset.
+	if tier.Proc().DiskReadBytes == 0 {
+		t.Fatal("synthetic storage tier should perform disk I/O")
+	}
+}
+
+func TestNewTierEpollDefault(t *testing.T) {
+	spec := specFixture()
+	plan := &core.TierPlan{Service: "leaf", Calls: map[int][]app.Call{}}
+	env := newTestEnv(t)
+	defer env.shutdown()
+	tier := NewTier(env.server, 9301, spec, plan, nil, 4)
+	if tier.Cfg.Model != "epoll" {
+		t.Fatalf("default model = %q", tier.Cfg.Model)
+	}
+	if tier.Cfg.RespBytes != spec.RespBytes {
+		t.Fatalf("resp bytes should fall back to spec: %d", tier.Cfg.RespBytes)
+	}
+	tier.Start()
+	if served := env.drive(t, 9301, 1, 5); served != 5 {
+		t.Fatalf("served %d", served)
+	}
+}
