@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dittogen -profile profile.json [-tune 4] [-seed 7]
+//	dittogen -profile profile.json [-tune 4] [-seed 7] [-verify] [-o spec.json]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"ditto/internal/experiments"
 	"ditto/internal/profile"
 	"ditto/internal/sim"
+	"ditto/internal/verify"
 )
 
 func main() {
@@ -24,6 +25,8 @@ func main() {
 		profPath = flag.String("profile", "", "AppProfile JSON from dittoprof")
 		tune     = flag.Int("tune", 0, "fine-tuning iterations (0 = none)")
 		seed     = flag.Int64("seed", 7, "generation seed")
+		doVerify = flag.Bool("verify", false, "verify the spec against its profile; refuse to emit on failure")
+		outPath  = flag.String("o", "", "write the generated spec as JSON")
 	)
 	flag.Parse()
 	if *profPath == "" {
@@ -52,6 +55,27 @@ func main() {
 		}
 	} else {
 		spec = core.Generate(prof, *seed)
+	}
+
+	if *doVerify {
+		rep := verify.Spec(spec, prof, verify.DefaultTolerances())
+		fmt.Print(rep.String())
+		if !rep.OK() {
+			fmt.Fprintln(os.Stderr, "dittogen: verification failed; refusing to emit the spec")
+			os.Exit(1)
+		}
+	}
+	if *outPath != "" {
+		data, err := spec.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dittogen: encode: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dittogen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("spec written to %s\n", *outPath)
 	}
 
 	fmt.Printf("synthetic app: %s\n", spec.Name)

@@ -1,0 +1,94 @@
+// Command dittolint is the CLI surface of the static-analysis layer
+// (internal/verify). It runs in one of two modes:
+//
+// Determinism lint (default): parse and type-check the deterministic model
+// packages and flag wall-clock reads, global math/rand draws, and
+// map-iteration-order-dependent accumulation.
+//
+//	dittolint [-root dir] [-json] [pkg/dir ...]
+//
+// Clone verification (-spec): run the Layer-1 clone verifier over a
+// generated spec (dittogen -o) against the profile it came from.
+//
+//	dittolint -spec spec.json -profile profile.json [-json]
+//
+// Exit status is 1 when any error-severity finding is produced.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ditto/internal/core"
+	"ditto/internal/profile"
+	"ditto/internal/verify"
+)
+
+func main() {
+	var (
+		root     = flag.String("root", ".", "module root to lint")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		specPath = flag.String("spec", "", "generated SynthSpec JSON to verify instead of linting")
+		profPath = flag.String("profile", "", "AppProfile JSON the spec was generated from (with -spec)")
+	)
+	flag.Parse()
+
+	var rep *verify.Report
+	if *specPath != "" {
+		rep = verifySpec(*specPath, *profPath)
+	} else {
+		dirs := flag.Args()
+		if len(dirs) == 0 {
+			dirs = verify.DeterministicPackages
+		}
+		var err error
+		rep, err = verify.Lint(*root, dirs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dittolint: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		b, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dittolint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Print(rep.String())
+	}
+	if !rep.OK() {
+		os.Exit(1)
+	}
+}
+
+func verifySpec(specPath, profPath string) *verify.Report {
+	if profPath == "" {
+		fmt.Fprintln(os.Stderr, "dittolint: -spec requires -profile")
+		os.Exit(2)
+	}
+	specData, err := os.ReadFile(specPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dittolint: %v\n", err)
+		os.Exit(1)
+	}
+	spec, err := core.DecodeSynthSpec(specData)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dittolint: decode spec: %v\n", err)
+		os.Exit(1)
+	}
+	profData, err := os.ReadFile(profPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dittolint: %v\n", err)
+		os.Exit(1)
+	}
+	prof, err := profile.DecodeAppProfile(profData)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dittolint: decode profile: %v\n", err)
+		os.Exit(1)
+	}
+	return verify.Spec(spec, prof, verify.DefaultTolerances())
+}

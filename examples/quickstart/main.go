@@ -1,12 +1,13 @@
 // Quickstart: the smallest end-to-end Ditto run. We bring up the original
 // Redis model on a simulated Platform A server, profile it under a YCSB-ish
-// closed loop, generate a synthetic clone, and run original and clone side
-// by side, printing the counter comparison — the whole pipeline of the
-// paper in one file.
+// closed loop, generate a synthetic clone, statically verify the clone
+// against the profile, and run original and clone side by side, printing
+// the counter comparison — the whole pipeline of the paper in one file.
 package main
 
 import (
 	"fmt"
+	"os"
 
 	"ditto/internal/app"
 	"ditto/internal/core"
@@ -14,6 +15,7 @@ import (
 	"ditto/internal/platform"
 	"ditto/internal/sim"
 	"ditto/internal/synth"
+	"ditto/internal/verify"
 )
 
 func main() {
@@ -35,6 +37,14 @@ func main() {
 	}
 	fmt.Printf("generated %d instruction blocks over %d data regions\n",
 		len(spec.Body.Blocks), len(spec.Body.Regions))
+
+	fmt.Println("== verifying the clone against its profile ==")
+	rep := verify.Spec(spec, prof, verify.DefaultTolerances())
+	fmt.Print(rep.String())
+	if !rep.OK() {
+		fmt.Println("clone failed verification; not worth simulating")
+		os.Exit(1)
+	}
 
 	fmt.Println("== measuring original vs synthetic under identical load ==")
 	envO := experiments.NewEnv(platform.A(), platform.WithCoreCount(8))

@@ -92,6 +92,14 @@ func DefaultAdjust() Adjust {
 	return Adjust{IWSScale: 1, DWSScale: 1, PtrScale: 1, InstrScale: 1}
 }
 
+// PostGenerate, when non-nil, is invoked with every spec produced by
+// Generate and GenerateAdjusted together with the profile it was generated
+// from — a post-condition hook for the verification layer (internal/verify
+// installs it so generation bugs surface at the point of generation instead
+// of as mysteriously-wrong simulated metrics). The default is nil: no
+// checking, no overhead.
+var PostGenerate func(spec *SynthSpec, prof *profile.AppProfile)
+
 // Generate builds a synthetic spec from a profile with neutral knobs.
 func Generate(prof *profile.AppProfile, seed int64) *SynthSpec {
 	return GenerateAdjusted(prof, DefaultAdjust(), seed)
@@ -112,6 +120,9 @@ func GenerateAdjusted(prof *profile.AppProfile, adj Adjust, seed int64) *SynthSp
 	}
 	spec.Syscalls = planSyscalls(prof)
 	spec.Body = generateBody(&prof.Body, adj, rng)
+	if PostGenerate != nil {
+		PostGenerate(spec, prof)
+	}
 	return spec
 }
 
@@ -144,7 +155,7 @@ func generateBody(b *profile.BodyProfile, adj Adjust, rng *stats.Rand) BodySpec 
 	var spec BodySpec
 
 	// Data regions per Fig. 4: region for WS 2^i spans [2^(i-1), 2^i).
-	dws := scaleBins(b.DWS, adj.DWSScale)
+	dws := ScaleWSBins(b.DWS, adj.DWSScale)
 	var totalAcc float64
 	var maxWS uint64
 	for _, bin := range dws {
@@ -172,7 +183,7 @@ func generateBody(b *profile.BodyProfile, adj Adjust, rng *stats.Rand) BodySpec 
 	regionPick := stats.NewCategorical(regionWeights)
 
 	// Instruction budget and block execution counts per Eq. 2.
-	iws := scaleBins(b.IWS, adj.IWSScale)
+	iws := ScaleWSBins(b.IWS, adj.IWSScale)
 	budget := b.InstrsPerRequest * adj.InstrScale
 	if budget <= 0 {
 		return spec // empty body (skeleton-only stage)
@@ -204,17 +215,17 @@ func generateBody(b *profile.BodyProfile, adj Adjust, rng *stats.Rand) BodySpec 
 			slots = 16
 		}
 		// Cap giant blocks: static code above 256KB is represented by a
-		// quarter-size block looped 4× as often (bounded generation size,
-		// preserved execution counts; the fine-tuner compensates for the
-		// footprint difference).
-		loopScale := 1.0
+		// smaller block looped proportionally more often (bounded generation
+		// size; the fine-tuner compensates for the footprint difference).
+		// LoopsPerRequest divides the bin's budget share by the post-cap
+		// slot count, so loops × slots stays at the bin's execution share
+		// regardless of capping.
 		for slots > 64<<10 {
 			slots /= 2
-			loopScale *= 2
 		}
 		blk := Block{
 			InstWS:          bin.Bytes,
-			LoopsPerRequest: bin.Count / iwsTotal * budget / float64(slots) * loopScale,
+			LoopsPerRequest: bin.Count / iwsTotal * budget / float64(slots),
 		}
 		blk.Instrs = make([]isa.Instr, slots)
 		blk.Aux = make([]SlotAux, slots)
@@ -352,34 +363,51 @@ func (ra *regAssigner) assign(in *isa.Instr, rng *stats.Rand) {
 	}
 }
 
-// mixSampler converts mix entries to a categorical sampler over
-// computational iforms only: memory, branch and REP shares are realized by
-// the dedicated slot kinds, so their clusters are excluded here and the
-// remaining shares renormalize.
-func mixSampler(mix []profile.MixEntry) (*stats.Categorical, []isa.Op) {
-	var w []float64
-	var ops []isa.Op
+// CompMixEntries filters a profiled mix down to the computational iforms
+// the slot sampler draws from: memory, branch and REP shares are realized
+// by the dedicated slot kinds, so their clusters are excluded and the
+// remaining shares renormalize at sampling time. An empty result falls back
+// to a pure ADD mix. The verifier uses the same filter to reconstruct the
+// expected mix of a generated body.
+func CompMixEntries(mix []profile.MixEntry) []profile.MixEntry {
+	var out []profile.MixEntry
 	for _, m := range mix {
+		if int(m.Op) >= isa.NumOps {
+			continue
+		}
 		f := &isa.Table[m.Op]
 		if f.Branch || f.Load || f.Store || f.Rep {
 			continue
 		}
-		w = append(w, m.Share)
-		ops = append(ops, m.Op)
+		out = append(out, m)
 	}
-	if len(ops) == 0 {
-		return stats.NewCategorical([]float64{1}), []isa.Op{isa.ADDrr}
+	if len(out) == 0 {
+		return []profile.MixEntry{{Op: isa.ADDrr, Share: 1}}
+	}
+	return out
+}
+
+// mixSampler converts the computational mix to a categorical sampler.
+func mixSampler(mix []profile.MixEntry) (*stats.Categorical, []isa.Op) {
+	comp := CompMixEntries(mix)
+	w := make([]float64, len(comp))
+	ops := make([]isa.Op, len(comp))
+	for i, m := range comp {
+		w[i] = m.Share
+		ops[i] = m.Op
 	}
 	return stats.NewCategorical(w), ops
 }
 
-// branchSampler converts branch bins, applying the MN shift knob.
-func branchSampler(bins []profile.BranchBin, shift int) (*stats.Categorical, []profile.BranchBin) {
+// ShiftBranchBins applies the MN-shift knob to profiled branch bins,
+// clamping the bias exponent to [1, 10]; an empty profile falls back to a
+// single moderately biased bin. This is the exact bin set the generator
+// samples branch slots from, shared with the verifier's conformance check.
+func ShiftBranchBins(bins []profile.BranchBin, shift int) []profile.BranchBin {
 	if len(bins) == 0 {
 		bins = []profile.BranchBin{{M: 2, N: 3, Weight: 1}}
 	}
 	out := make([]profile.BranchBin, len(bins))
-	w := make([]float64, len(bins))
 	for i, b := range bins {
 		m := b.M + shift
 		if m < 1 {
@@ -389,14 +417,25 @@ func branchSampler(bins []profile.BranchBin, shift int) (*stats.Categorical, []p
 			m = 10
 		}
 		out[i] = profile.BranchBin{M: m, N: b.N, Weight: b.Weight}
+	}
+	return out
+}
+
+// branchSampler converts branch bins, applying the MN shift knob.
+func branchSampler(bins []profile.BranchBin, shift int) (*stats.Categorical, []profile.BranchBin) {
+	out := ShiftBranchBins(bins, shift)
+	w := make([]float64, len(out))
+	for i, b := range out {
 		w[i] = b.Weight
 	}
 	return stats.NewCategorical(w), out
 }
 
-// scaleBins scales working-set byte sizes, snapping to powers of two and
-// merging collisions.
-func scaleBins(bins []profile.WSBin, scale float64) []profile.WSBin {
+// ScaleWSBins scales working-set byte sizes, snapping to powers of two and
+// merging collisions. Identity scale returns the input unchanged. Shared
+// with the verifier, which reconstructs the expected working-set histogram
+// of a spec generated under a non-neutral knob vector.
+func ScaleWSBins(bins []profile.WSBin, scale float64) []profile.WSBin {
 	if scale == 1 || len(bins) == 0 {
 		return bins
 	}
@@ -408,11 +447,15 @@ func scaleBins(bins []profile.WSBin, scale float64) []profile.WSBin {
 		}
 		merged[sz] += b.Count
 	}
-	out := make([]profile.WSBin, 0, len(merged))
-	for sz, c := range merged {
-		out = append(out, profile.WSBin{Bytes: sz, Count: c})
+	sizes := make([]int, 0, len(merged))
+	for sz := range merged {
+		sizes = append(sizes, sz)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Bytes < out[j].Bytes })
+	sort.Ints(sizes)
+	out := make([]profile.WSBin, 0, len(sizes))
+	for _, sz := range sizes {
+		out = append(out, profile.WSBin{Bytes: sz, Count: merged[sz]})
+	}
 	return out
 }
 

@@ -206,20 +206,20 @@ func TestAdjustKnobs(t *testing.T) {
 
 func TestScaleBins(t *testing.T) {
 	bins := []profile.WSBin{{Bytes: 4096, Count: 10}, {Bytes: 8192, Count: 5}}
-	same := scaleBins(bins, 1)
+	same := ScaleWSBins(bins, 1)
 	if &same[0] != &bins[0] {
 		t.Fatal("identity scale should return input")
 	}
-	up := scaleBins(bins, 2)
+	up := ScaleWSBins(bins, 2)
 	if up[0].Bytes != 8192 || up[1].Bytes != 16384 {
 		t.Fatalf("up = %+v", up)
 	}
 	// Collisions merge: 4096*0.5=2048, 8192*0.5=4096.
-	down := scaleBins([]profile.WSBin{{Bytes: 4096, Count: 10}, {Bytes: 4096 * 2, Count: 5}}, 0.5)
+	down := ScaleWSBins([]profile.WSBin{{Bytes: 4096, Count: 10}, {Bytes: 4096 * 2, Count: 5}}, 0.5)
 	if len(down) != 2 || down[0].Bytes != 2048 {
 		t.Fatalf("down = %+v", down)
 	}
-	tiny := scaleBins(bins, 0.001)
+	tiny := ScaleWSBins(bins, 0.001)
 	if tiny[0].Bytes != 64 {
 		t.Fatal("scale floor at one line")
 	}

@@ -1,0 +1,16 @@
+package core
+
+import "encoding/json"
+
+// Encode serializes the spec as indented JSON — the on-disk format dittogen
+// emits and dittolint's clone-verification mode consumes.
+func (s *SynthSpec) Encode() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// DecodeSynthSpec parses a spec previously written by Encode.
+func DecodeSynthSpec(b []byte) (*SynthSpec, error) {
+	var s SynthSpec
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

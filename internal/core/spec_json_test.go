@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ditto/internal/profile"
+)
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := Generate(sampleProfile(), 9)
+	data, err := spec.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	back, err := DecodeSynthSpec(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatal("spec changed across the JSON round trip")
+	}
+	if _, err := DecodeSynthSpec([]byte("{broken")); err == nil {
+		t.Fatal("want an error for malformed input")
+	}
+}
+
+// TestGenerateCappedBlockConservesBudget pins the giant-block path: an IWS
+// bin past the 256KB static-code cap must still execute its share of the
+// instruction budget after its slot count is halved down.
+func TestGenerateCappedBlockConservesBudget(t *testing.T) {
+	p := sampleProfile()
+	p.Body.IWS = []profile.WSBin{
+		{Bytes: 4096, Count: 1000}, {Bytes: 1 << 20, Count: 3000},
+	}
+	spec := Generate(p, 4)
+	var execs float64
+	for _, blk := range spec.Body.Blocks {
+		if got := len(blk.Instrs); got > 64<<10 {
+			t.Fatalf("block with %d static slots escaped the cap", got)
+		}
+		execs += blk.LoopsPerRequest * float64(len(blk.Instrs))
+	}
+	budget := p.Body.InstrsPerRequest
+	if math.Abs(execs-budget) > 0.1*budget {
+		t.Fatalf("per-request executions = %.0f, want ≈ %.0f", execs, budget)
+	}
+}

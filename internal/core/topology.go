@@ -121,6 +121,7 @@ func LearnTopology(spans []dtrace.Span) map[string]*TierPlan {
 			RespBytes: e.respBytes / e.calls,
 		})
 	}
+	// ditto:determinism-ok per-key writes only; no cross-iteration state
 	for svc, rb := range respBytes {
 		if rb[1] > 0 {
 			get(svc).RespBytes = rb[0] / rb[1]

@@ -10,6 +10,9 @@ import (
 )
 
 func TestLLCStressorEvictsVictimLines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps the full LLC; skipped in -short")
+	}
 	run := func(withStressor bool) float64 {
 		eng := sim.NewEngine()
 		cl := platform.NewCluster(eng, 100*sim.Microsecond)

@@ -1,0 +1,76 @@
+package isa
+
+import "fmt"
+
+// This file is the iform-consistency half of the verification layer: a
+// Table entry (or a hand-built IForm) is checked against the structural
+// invariants the CPU model and the clone verifier rely on. The checks are
+// deliberately conservative — they encode properties every entry in Table
+// satisfies today, so a violation always indicates a corrupted or
+// inconsistent iform rather than a stylistic choice.
+
+// Validate reports the first structural inconsistency in f, or nil.
+func (f *IForm) Validate() error {
+	switch {
+	case f.Name == "":
+		return fmt.Errorf("iform has no name")
+	case f.Uops < 1:
+		return fmt.Errorf("%s: uops = %d, want >= 1", f.Name, f.Uops)
+	case f.Latency < 0:
+		return fmt.Errorf("%s: negative latency %d", f.Name, f.Latency)
+	case f.Latency == 0 && f.Class != ClassNop:
+		return fmt.Errorf("%s: zero latency outside the nop class", f.Name)
+	case f.Ports == 0:
+		return fmt.Errorf("%s: empty port mask", f.Name)
+	case f.Branch && f.Ports&PortsBranch == 0:
+		return fmt.Errorf("%s: branch cannot issue to a branch port (mask %08b)", f.Name, f.Ports)
+	case f.Branch && f.Class != ClassControl:
+		return fmt.Errorf("%s: branch outside the control class (%s)", f.Name, f.Class)
+	case f.Load && f.Uops == 1 && f.Ports&PortsLoad == 0:
+		return fmt.Errorf("%s: single-uop load cannot issue to a load port (mask %08b)", f.Name, f.Ports)
+	case f.Store && f.Uops < 2:
+		return fmt.Errorf("%s: store with %d uop(s), want >= 2 (data + AGU)", f.Name, f.Uops)
+	case f.Rep && f.RepUnit < 1:
+		return fmt.Errorf("%s: rep op with RepUnit %d", f.Name, f.RepUnit)
+	case f.Rep && f.Class != ClassRepString:
+		return fmt.Errorf("%s: rep op outside the repstring class (%s)", f.Name, f.Class)
+	case !f.Rep && f.RepUnit != 0:
+		return fmt.Errorf("%s: RepUnit %d on a non-rep op", f.Name, f.RepUnit)
+	case f.ALUHeavy && f.Latency < 3:
+		return fmt.Errorf("%s: ALU-heavy op with latency %d, want >= 3", f.Name, f.Latency)
+	}
+	return nil
+}
+
+// ValidateOp checks that op indexes a self-consistent Table entry.
+func ValidateOp(op Op) error {
+	if int(op) >= NumOps {
+		return fmt.Errorf("unknown opcode %d (table has %d iforms)", op, NumOps)
+	}
+	return Table[op].Validate()
+}
+
+// TableErrors validates every Table entry and returns all inconsistencies.
+func TableErrors() []error {
+	var errs []error
+	for op := Op(0); int(op) < NumOps; op++ {
+		if err := Table[op].Validate(); err != nil {
+			errs = append(errs, fmt.Errorf("op %d: %w", op, err))
+		}
+	}
+	return errs
+}
+
+// RegMatchesOperands reports whether register r is usable as an operand of
+// an iform in operand class oc: vector classes take X registers, everything
+// else takes general-purpose registers. RegNone (absent operand) always
+// matches.
+func RegMatchesOperands(oc OperandClass, r Reg) bool {
+	if r == RegNone {
+		return true
+	}
+	if oc == OpXMM {
+		return r.IsVector()
+	}
+	return !r.IsVector()
+}

@@ -1,0 +1,59 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIsSelfConsistent(t *testing.T) {
+	if errs := TableErrors(); len(errs) != 0 {
+		t.Fatalf("table inconsistencies: %v", errs)
+	}
+}
+
+func TestValidateOpBounds(t *testing.T) {
+	if err := ValidateOp(ADDrr); err != nil {
+		t.Fatalf("add r,r: %v", err)
+	}
+	if err := ValidateOp(Op(200)); err == nil || !strings.Contains(err.Error(), "unknown opcode") {
+		t.Fatalf("out-of-range op: %v", err)
+	}
+}
+
+func TestValidateCatchesBrokenIForms(t *testing.T) {
+	cases := []struct {
+		name string
+		f    IForm
+		want string
+	}{
+		{"no name", IForm{}, "no name"},
+		{"zero uops", IForm{Name: "x", Latency: 1, Ports: P0}, "uops"},
+		{"no ports", IForm{Name: "x", Uops: 1, Latency: 1}, "port mask"},
+		{"branch off port 6", IForm{Name: "x", Uops: 1, Latency: 1, Ports: P0, Branch: true, Class: ClassControl}, "branch port"},
+		{"branch class", IForm{Name: "x", Uops: 1, Latency: 1, Ports: P6, Branch: true, Class: ClassArith}, "control class"},
+		{"load off load ports", IForm{Name: "x", Uops: 1, Latency: 4, Ports: P0, Load: true}, "load port"},
+		{"one-uop store", IForm{Name: "x", Uops: 1, Latency: 1, Ports: P4, Store: true}, "uop"},
+		{"rep without unit", IForm{Name: "x", Uops: 3, Latency: 20, Ports: P2, Rep: true, Class: ClassRepString}, "RepUnit"},
+		{"stray rep unit", IForm{Name: "x", Uops: 1, Latency: 1, Ports: P0, RepUnit: 2}, "non-rep"},
+		{"light heavy op", IForm{Name: "x", Uops: 1, Latency: 1, Ports: P0, ALUHeavy: true}, "latency"},
+		{"zero latency", IForm{Name: "x", Uops: 1, Ports: P0}, "zero latency"},
+	}
+	for _, c := range cases {
+		err := c.f.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestRegMatchesOperands(t *testing.T) {
+	if !RegMatchesOperands(OpXMM, X3) || RegMatchesOperands(OpXMM, R3) {
+		t.Fatal("xmm class must take vector registers")
+	}
+	if !RegMatchesOperands(OpGPR, R3) || RegMatchesOperands(OpGPR, X3) {
+		t.Fatal("gpr class must take scalar registers")
+	}
+	if !RegMatchesOperands(OpXMM, RegNone) || !RegMatchesOperands(OpMem, RegNone) {
+		t.Fatal("absent operands always match")
+	}
+}

@@ -1,0 +1,77 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"ditto/internal/app"
+	"ditto/internal/core"
+	"ditto/internal/experiments"
+	"ditto/internal/platform"
+	"ditto/internal/profile"
+	"ditto/internal/sim"
+)
+
+// TestVerifierAcceptsAllAppClones is the acceptance gate of the clone
+// verifier: every spec core.Generate produces from the five paper
+// workloads (the four single-tier apps plus every Social Network tier)
+// must verify clean across three generation seeds. A failure here means
+// either the generator drifted from the profile statistics or a verifier
+// rule is stricter than the generator's contract.
+func TestVerifierAcceptsAllAppClones(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles five simulated applications; skipped in -short")
+	}
+	seeds := []int64{1, 2, 3}
+	win := experiments.Windows{Warmup: 10 * sim.Millisecond, Measure: 40 * sim.Millisecond}
+	load := experiments.Load{Conns: 8, Seed: 5}
+
+	profiles := map[string]*profile.AppProfile{}
+	apps := []struct {
+		name   string
+		port   int
+		maxDWS int
+		build  experiments.AppBuilder
+	}{
+		{"memcached", 11211, 128 << 20,
+			func(m *platform.Machine) app.App { return app.NewMemcached(m, 11211, 21) }},
+		{"nginx", 80, 32 << 20,
+			func(m *platform.Machine) app.App { return app.NewNginx(m, 80, 22) }},
+		{"mongodb", 27017, 256 << 20,
+			func(m *platform.Machine) app.App { return app.NewMongoDB(m, 27017, 23) }},
+		{"redis", 6379, 128 << 20,
+			func(m *platform.Machine) app.App { return app.NewRedis(m, 6379, 24) }},
+	}
+	for _, a := range apps {
+		profiles[a.name] = experiments.ProfileRun(a.build, load, win, a.maxDWS)
+	}
+	sn := experiments.CloneSN(platform.A(), 2, 4, load, win, 25)
+	var tiers []string
+	for name := range sn.Profiles {
+		tiers = append(tiers, name)
+	}
+	sort.Strings(tiers)
+	for _, name := range tiers {
+		profiles["socialnetwork/"+name] = sn.Profiles[name]
+	}
+
+	var names []string
+	for name := range profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tol := DefaultTolerances()
+	for _, name := range names {
+		prof := profiles[name]
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				spec := core.Generate(prof, seed)
+				r := Spec(spec, prof, tol)
+				if !r.OK() {
+					t.Errorf("verification failed:\n%s", r)
+				}
+			})
+		}
+	}
+}

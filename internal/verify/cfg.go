@@ -1,0 +1,170 @@
+package verify
+
+import (
+	"ditto/internal/core"
+	"ditto/internal/isa"
+)
+
+// This file builds a control-flow graph over a generated block's static
+// code and runs the path-sensitive checks: branch-target integrity and
+// register def-before-use.
+//
+// Generated blocks follow the paper's Fig. 3 shape: straight-line code
+// looped LoopsPerRequest times, where every conditional branch is a
+// bitmask-predicated jump to the next instruction (taken and fall-through
+// edges converge immediately, so the branch perturbs the predictor without
+// diverting control) and the loop back-edge closes the block. The CFG
+// therefore has one node per branch-delimited run of instructions, an edge
+// from each node to its successor, and a back edge from the last node to
+// the first.
+
+// cfgNode is one branch-delimited run of slots [start, end).
+type cfgNode struct {
+	start, end int
+	succs      []int
+}
+
+// buildCFG cuts a block into nodes after every branch slot and wires the
+// fall-through and loop edges. The caller guarantees len(Instrs) > 0.
+func buildCFG(blk *core.Block) []cfgNode {
+	var nodes []cfgNode
+	start := 0
+	for s := range blk.Instrs {
+		isBr := int(blk.Instrs[s].Op) < isa.NumOps && isa.Table[blk.Instrs[s].Op].Branch
+		if isBr || s == len(blk.Instrs)-1 {
+			nodes = append(nodes, cfgNode{start: start, end: s + 1})
+			start = s + 1
+		}
+	}
+	for i := range nodes {
+		next := i + 1
+		if next == len(nodes) {
+			next = 0 // loop back edge
+		}
+		// Taken and fall-through edges coincide (branch-to-next-line), so a
+		// single successor captures both.
+		nodes[i].succs = []int{next}
+	}
+	return nodes
+}
+
+// The register contract of generated code (Fig. 3 and the synth runtime):
+// the prologue zeroes r0-r7 and x0-x11; the runtime owns r8 (branch-mask
+// counter), r9 (loop counter), r10 (data-array base) and r11 (pointer-chase
+// cell). Generated code may read any contract register, may write r0-r7 and
+// x0-x11, and may write r11 only through the pointer-chase iform.
+const (
+	regContract  = (uint64(1)<<12 - 1) | ((uint64(1)<<12 - 1) << 16) // r0-r11, x0-x11
+	regWritable  = (uint64(1)<<8 - 1) | ((uint64(1)<<12 - 1) << 16)  // r0-r7, x0-x11
+	regChaseOnly = uint64(1) << 11                                   // r11: pointer-chase iform only
+)
+
+func regBit(r isa.Reg) uint64 {
+	if r == isa.RegNone || uint8(r) >= isa.NumRegs {
+		return 0
+	}
+	return uint64(1) << uint8(r)
+}
+
+// checkCFG verifies one block's control flow and register dataflow,
+// appending findings to r.
+func checkCFG(r *Report, bi int, blk *core.Block) {
+	if len(blk.Instrs) == 0 {
+		return
+	}
+
+	// Branch-target integrity: every branch's implicit target (the next
+	// line) must be a real slot of this block; a branch in the final slot
+	// targets the loop head. Broken PC layout makes a target dangle.
+	for s, in := range blk.Instrs {
+		if int(in.Op) >= isa.NumOps || !isa.Table[in.Op].Branch {
+			continue
+		}
+		if s == len(blk.Instrs)-1 {
+			continue // falls through to the loop close
+		}
+		target := in.PC + isa.InstrBytes
+		if blk.Instrs[s+1].PC != target {
+			r.specFinding("branch-target", SevError, bi, s,
+				"branch at pc %#x targets %#x but the next slot is at %#x (dangling target)",
+				in.PC, target, blk.Instrs[s+1].PC)
+		}
+	}
+
+	// Register def-before-use: forward must-defined analysis to fixpoint,
+	// join = intersection over predecessors, entry seeded with the contract
+	// set. A source register that is not must-defined at its use is read
+	// before any write on some path.
+	nodes := buildCFG(blk)
+	preds := make([][]int, len(nodes))
+	for i, n := range nodes {
+		for _, s := range n.succs {
+			preds[s] = append(preds[s], i)
+		}
+	}
+	const all = ^uint64(0)
+	in := make([]uint64, len(nodes))
+	out := make([]uint64, len(nodes))
+	for i := range out {
+		out[i] = all // optimistic start; entry constraints pull it down
+	}
+	transfer := func(n cfgNode, def uint64) uint64 {
+		for s := n.start; s < n.end; s++ {
+			def |= regBit(blk.Instrs[s].Dst)
+		}
+		return def
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, n := range nodes {
+			newIn := all
+			for _, p := range preds[i] {
+				newIn &= out[p]
+			}
+			if i == 0 {
+				newIn &= regContract // virtual entry edge
+			}
+			newOut := transfer(n, newIn)
+			if newIn != in[i] || newOut != out[i] {
+				in[i], out[i] = newIn, newOut
+				changed = true
+			}
+		}
+	}
+	for i, n := range nodes {
+		def := in[i]
+		for s := n.start; s < n.end; s++ {
+			inst := &blk.Instrs[s]
+			for _, src := range [2]isa.Reg{inst.Src1, inst.Src2} {
+				if src == isa.RegNone {
+					continue
+				}
+				if b := regBit(src); b != 0 && def&b == 0 {
+					r.specFinding("read-before-write", SevError, bi, s,
+						"%s reads %v before any write on some path (outside the prologue contract)",
+						opName(inst.Op), src)
+				}
+			}
+			if inst.Dst != isa.RegNone {
+				b := regBit(inst.Dst)
+				switch {
+				case b == regChaseOnly && inst.Op != isa.MOVptr:
+					r.specFinding("reserved-register", SevError, bi, s,
+						"%s writes r11, reserved for the pointer-chase cell", opName(inst.Op))
+				case b != regChaseOnly && b&regWritable == 0:
+					r.specFinding("reserved-register", SevError, bi, s,
+						"%s writes %v, outside the writable contract set", opName(inst.Op), inst.Dst)
+				}
+				def |= b
+			}
+		}
+	}
+}
+
+// opName names an opcode safely, including out-of-table values.
+func opName(op isa.Op) string {
+	if int(op) < isa.NumOps {
+		return isa.Table[op].Name
+	}
+	return "op?"
+}

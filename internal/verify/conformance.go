@@ -1,0 +1,346 @@
+package verify
+
+import (
+	"math"
+	"sort"
+
+	"ditto/internal/core"
+	"ditto/internal/isa"
+	"ditto/internal/kernel"
+	"ditto/internal/profile"
+)
+
+// This file implements the statistical half of the clone verifier: the
+// generated body must reproduce the profile's instruction mix,
+// branch-behaviour histogram, working-set distributions and per-request
+// instruction budget within configured tolerances — the §4.4 fidelity
+// contract, checked before any simulation.
+
+// bodyTally aggregates the composition of a generated body. The generator
+// fills every static slot i.i.d. from the profiled distributions, so the
+// pooled static composition is the sample the conformance checks apply to;
+// weighting slots by LoopsPerRequest would multiply a small block's
+// sampling noise by its loop count and drown the signal. Per-request
+// execution weights enter only where the generator explicitly allocates
+// them: the instruction budget and the IWS histogram.
+type bodyTally struct {
+	dyn        float64 // execution-weighted instructions per request
+	iws        map[int]float64
+	slots      float64 // static slots across all blocks
+	branch     float64
+	mem        float64
+	store, rep float64
+	ptr, load  float64 // pointer-chase vs plain loads (the MLP split)
+	comp       map[isa.Op]float64
+	brBins     map[[2]int]float64
+	region     map[int]float64
+}
+
+func tallyBody(body *core.BodySpec) *bodyTally {
+	t := &bodyTally{
+		comp:   map[isa.Op]float64{},
+		brBins: map[[2]int]float64{},
+		region: map[int]float64{},
+		iws:    map[int]float64{},
+	}
+	for bi := range body.Blocks {
+		blk := &body.Blocks[bi]
+		w := blk.LoopsPerRequest
+		if w <= 0 || len(blk.Instrs) == 0 || len(blk.Aux) != len(blk.Instrs) {
+			continue
+		}
+		t.dyn += w * float64(len(blk.Instrs))
+		t.iws[blk.InstWS] += w * float64(len(blk.Instrs))
+		t.slots += float64(len(blk.Instrs))
+		for s := range blk.Instrs {
+			in := &blk.Instrs[s]
+			aux := &blk.Aux[s]
+			switch {
+			case aux.IsBranch:
+				t.branch++
+				t.brBins[[2]int{aux.M, aux.N}]++
+			case aux.IsMem:
+				t.mem++
+				t.region[aux.Region]++
+				switch {
+				case aux.IsRep:
+					t.rep++
+				case int(in.Op) < isa.NumOps && isa.Table[in.Op].Store:
+					t.store++
+				case in.Op == isa.MOVptr:
+					t.ptr++
+				default:
+					t.load++
+				}
+			default:
+				t.comp[in.Op]++
+			}
+		}
+	}
+	return t
+}
+
+// stat records one conformance measurement and emits a finding on failure.
+func (r *Report) stat(name string, got, want, err, tol float64) bool {
+	pass := err <= tol
+	r.Conformance = append(r.Conformance, Stat{Name: name, Got: got, Want: want, Err: err, Tol: tol, Pass: pass})
+	if !pass {
+		r.specFinding(name, SevError, -1, -1,
+			"got %.4f, want %.4f (err %.4f > tol %.4f)", got, want, err, tol)
+	}
+	return pass
+}
+
+// shareStat checks a scalar share with combined absolute/relative slack.
+func (r *Report) shareStat(name string, got, want float64, tol Tolerances) {
+	err := math.Abs(got - want)
+	eff := tol.ShareAbs
+	if rel := math.Abs(want) * tol.ShareRel; rel > eff {
+		eff = rel
+	}
+	r.stat(name, got, want, err, eff)
+}
+
+// tvDistance is the total-variation distance between two weight maps after
+// normalization: half the L1 distance, in [0,1].
+func tvDistance[K comparable](got, want map[K]float64) float64 {
+	var gSum, wSum float64
+	for _, v := range got {
+		gSum += v
+	}
+	for _, v := range want {
+		wSum += v
+	}
+	if gSum == 0 || wSum == 0 {
+		if gSum == wSum {
+			return 0
+		}
+		return 1
+	}
+	keys := map[K]bool{}
+	for k := range got {
+		keys[k] = true
+	}
+	for k := range want {
+		keys[k] = true
+	}
+	var d float64
+	for k := range keys {
+		d += math.Abs(got[k]/gSum - want[k]/wSum)
+	}
+	return d / 2
+}
+
+// ksDistance is the Kolmogorov–Smirnov statistic between two weighted
+// histograms over an ordered support.
+func ksDistance(support []int, got, want map[int]float64) float64 {
+	var gSum, wSum float64
+	for _, v := range got {
+		gSum += v
+	}
+	for _, v := range want {
+		wSum += v
+	}
+	if gSum == 0 || wSum == 0 {
+		if gSum == wSum {
+			return 0
+		}
+		return 1
+	}
+	var gCum, wCum, d float64
+	for _, k := range support {
+		gCum += got[k] / gSum
+		wCum += want[k] / wSum
+		if diff := math.Abs(gCum - wCum); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+func checkConformance(r *Report, spec *core.SynthSpec, prof *profile.AppProfile, tol Tolerances) {
+	b := &prof.Body
+	adj := spec.Applied
+	checkSkeleton(r, spec, prof)
+	checkSyscallConformance(r, spec, prof)
+
+	budget := b.InstrsPerRequest * adj.InstrScale
+	if budget <= 0 {
+		if len(spec.Body.Blocks) != 0 {
+			r.specFinding("budget", SevError, -1, -1,
+				"profile has no instruction budget but the body has %d blocks", len(spec.Body.Blocks))
+		}
+		return // skeleton-only stage: nothing statistical to conform
+	}
+	t := tallyBody(&spec.Body)
+	if t.dyn == 0 {
+		r.specFinding("budget", SevError, -1, -1,
+			"profile wants %.0f instructions per request but the body executes none", budget)
+		return
+	}
+
+	// Per-request instruction budget (Eq. 2 conservation).
+	r.stat("budget", t.dyn, budget, math.Abs(t.dyn-budget)/budget, tol.BudgetRel)
+
+	// Slot-kind shares over the pooled static slots.
+	r.shareStat("branch-share", t.branch/t.slots, b.BranchShare, tol)
+	r.shareStat("mem-share", t.mem/t.slots, b.MemShare, tol)
+	if t.mem > 0 {
+		// The slot sampler draws rep first, then store from the same
+		// uniform: P(store|mem) is StoreFrac capped by the rep share.
+		wantStore := math.Min(clamp01(b.StoreFrac), 1-clamp01(b.RepFrac))
+		r.shareStat("store-frac", t.store/t.mem, wantStore, tol)
+		r.shareStat("rep-frac", t.rep/t.mem, clamp01(b.RepFrac), tol)
+		if plain := t.ptr + t.load; plain > 0 {
+			r.shareStat("pointer-frac", t.ptr/plain, clamp01(b.PointerFrac*adj.PtrScale), tol)
+		}
+	}
+
+	// Computational instruction mix (total-variation distance against the
+	// renormalized computational clusters).
+	want := map[isa.Op]float64{}
+	for _, m := range core.CompMixEntries(b.Mix) {
+		want[m.Op] += m.Share
+	}
+	mixTV := tvDistance(t.comp, want)
+	r.stat("mix-tv", mixTV, 0, mixTV, tol.MixTV)
+
+	// Branch-behaviour histogram over (M,N) bins, after the MN-shift knob.
+	if t.branch > 0 {
+		wantBr := map[[2]int]float64{}
+		for _, bin := range core.ShiftBranchBins(b.Branches, adj.MNShift) {
+			wantBr[[2]int{bin.M, bin.N}] += bin.Weight
+		}
+		d := tvDistance(t.brBins, wantBr)
+		r.stat("branch-tv", d, 0, d, tol.BranchTV)
+	}
+
+	// Instruction working-set CDF.
+	iwsBins := core.ScaleWSBins(b.IWS, adj.IWSScale)
+	var iwsTotal float64
+	for _, bin := range iwsBins {
+		iwsTotal += bin.Count
+	}
+	if iwsTotal <= 0 {
+		iwsBins = []profile.WSBin{{Bytes: 4096, Count: budget}}
+	}
+	wantIWS := map[int]float64{}
+	for _, bin := range iwsBins {
+		wantIWS[bin.Bytes] += bin.Count
+	}
+	d := ksDistance(sortedKeys(t.iws, wantIWS), t.iws, wantIWS)
+	r.stat("iws-ks", d, 0, d, tol.WSKS)
+
+	// Data working-set CDF: the dynamic share of memory accesses per region
+	// against the profiled per-working-set access counts.
+	dwsBins := core.ScaleWSBins(b.DWS, adj.DWSScale)
+	if len(dwsBins) != len(spec.Body.Regions) {
+		r.specFinding("region-count", SevError, -1, -1,
+			"%d regions for %d data working-set bins", len(spec.Body.Regions), len(dwsBins))
+	} else if t.mem > 0 && len(dwsBins) > 0 {
+		var dwsTotal float64
+		for _, bin := range dwsBins {
+			dwsTotal += bin.Count
+		}
+		wantDWS := map[int]float64{}
+		for i, bin := range dwsBins {
+			if dwsTotal > 0 {
+				wantDWS[i] = bin.Count
+			} else {
+				wantDWS[i] = 1 // all-zero weights sample uniformly
+			}
+		}
+		support := make([]int, len(dwsBins))
+		for i := range support {
+			support[i] = i
+		}
+		d := ksDistance(support, t.region, wantDWS)
+		r.stat("dws-ks", d, 0, d, tol.WSKS)
+	}
+}
+
+func checkSkeleton(r *Report, spec *core.SynthSpec, prof *profile.AppProfile) {
+	s, p := spec.Skeleton, prof.Skeleton
+	if s.NetworkModel != p.NetworkModel || s.Workers != p.Workers ||
+		s.Dispatcher != p.Dispatcher || s.PerConn != p.PerConn ||
+		s.ThreadClusters != p.ThreadClusters {
+		r.specFinding("skeleton", SevError, -1, -1,
+			"skeleton %+v does not carry the profiled skeleton %+v", s, p)
+	}
+	if spec.ReqBytes != int(prof.ReqBytesMean) || spec.RespBytes != int(prof.RespBytesMean) {
+		r.specFinding("message-size", SevError, -1, -1,
+			"req/resp %d/%dB, profile means %.0f/%.0fB",
+			spec.ReqBytes, spec.RespBytes, prof.ReqBytesMean, prof.RespBytesMean)
+	}
+}
+
+// checkSyscallConformance verifies the syscall plan is exactly the
+// replayable projection of the profiled syscall distribution: every
+// profiled replayable syscall appears at its profiled rate, and the plan
+// invents nothing.
+func checkSyscallConformance(r *Report, spec *core.SynthSpec, prof *profile.AppProfile) {
+	profiled := map[kernel.SyscallOp]float64{}
+	for _, st := range prof.Syscalls {
+		if replayableOps[st.Op] {
+			profiled[st.Op] += st.PerRequest
+		}
+	}
+	planned := map[kernel.SyscallOp]float64{}
+	for _, p := range spec.Syscalls {
+		planned[p.Op] += p.PerRequest
+	}
+	for _, op := range sortedOps(profiled) {
+		rate := profiled[op]
+		got, ok := planned[op]
+		if !ok {
+			r.specFinding("syscall-conformance", SevError, -1, -1,
+				"profiled %v (%.3f/req) missing from the replay plan", op, rate)
+			continue
+		}
+		if math.Abs(got-rate) > 1e-9*math.Max(1, rate) {
+			r.specFinding("syscall-conformance", SevError, -1, -1,
+				"%v replayed at %.4f/req, profiled at %.4f/req", op, got, rate)
+		}
+	}
+	for _, op := range sortedOps(planned) {
+		if _, ok := profiled[op]; !ok {
+			r.specFinding("syscall-conformance", SevError, -1, -1,
+				"plan replays %v (%.3f/req) that the profile never observed", op, planned[op])
+		}
+	}
+}
+
+// sortedOps orders syscall ops for deterministic finding emission.
+func sortedOps(m map[kernel.SyscallOp]float64) []kernel.SyscallOp {
+	ops := make([]kernel.SyscallOp, 0, len(m))
+	for op := range m {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	return ops
+}
+
+func sortedKeys(ms ...map[int]float64) []int {
+	seen := map[int]bool{}
+	var keys []int
+	for _, m := range ms {
+		for k := range m {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,191 @@
+package verify
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module for the linter to chew on.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module lintfixture\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func rulesOf(r *Report) map[string]int {
+	m := map[string]int{}
+	for _, f := range r.Findings {
+		m[f.Rule]++
+	}
+	return m
+}
+
+func TestLintFlagsNondeterminism(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"model/model.go": `package model
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Step(weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	total += rand.Float64()
+	start := time.Now()
+	_ = time.Since(start)
+	return total
+}
+`,
+	})
+	r, err := Lint(root, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := rulesOf(r)
+	if rules["map-range"] != 1 || rules["global-rand"] != 1 || rules["wall-clock"] != 2 {
+		t.Fatalf("rules = %v, want 1 map-range, 1 global-rand, 2 wall-clock:\n%s", rules, r)
+	}
+	if r.OK() {
+		t.Fatal("report with error findings must not be OK")
+	}
+	for _, f := range r.Findings {
+		if !strings.Contains(f.Pos, "model.go:") {
+			t.Fatalf("finding without a file position: %+v", f)
+		}
+	}
+}
+
+func TestLintAllowsDeterministicConstructs(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"model/model.go": `package model
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Seeded streams and sorted-key iteration are the deterministic idiom.
+func Sum(weights map[string]float64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var keys []string
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := rng.Float64()
+	for _, k := range keys {
+		total += weights[k]
+	}
+	// ditto:determinism-ok commutative sum; order cannot reach the result
+	for _, w := range weights {
+		_ = w
+	}
+	total += sumSuppressedSameLine(weights)
+	return total
+}
+
+func sumSuppressedSameLine(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m { // ditto:determinism-ok commutative
+		s += v
+	}
+	return s
+}
+`,
+		"model/model_test.go": `package model
+
+import (
+	"testing"
+	"time"
+)
+
+func TestIgnored(t *testing.T) { _ = time.Now() }
+`,
+	})
+	r, err := Lint(root, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() || len(r.Findings) != 0 {
+		t.Fatalf("clean package produced findings:\n%s", r)
+	}
+}
+
+func TestLintResolvesModuleInternalImports(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"util/util.go": `package util
+
+type Clock struct{ Ticks int64 }
+
+func (c *Clock) Advance() { c.Ticks++ }
+`,
+		"model/model.go": `package model
+
+import "lintfixture/util"
+
+func Run(c *util.Clock, m map[int]int) {
+	c.Advance()
+	for k, v := range m {
+		_, _ = k, v
+	}
+}
+`,
+	})
+	r, err := Lint(root, []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules := rulesOf(r); rules["map-range"] != 1 {
+		t.Fatalf("rules = %v, want the map-range through a cross-package file", rules)
+	}
+}
+
+// TestLintRepoIsClean is the self-test the CI lint job relies on: the
+// deterministic model packages of this repository must stay clean.
+func TestLintRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks six packages; skipped in -short")
+	}
+	r, err := Lint(repoRoot(t), DeterministicPackages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("deterministic packages have lint findings:\n%s", r)
+	}
+}
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,213 @@
+package verify
+
+import (
+	"math"
+
+	"ditto/internal/core"
+	"ditto/internal/isa"
+	"ditto/internal/kernel"
+)
+
+// checkStructure runs every structural (non-statistical) check over a spec:
+// instruction/iform consistency, aux metadata, control flow and register
+// dataflow per block, memory-region layout, and the syscall plan.
+func checkStructure(r *Report, spec *core.SynthSpec) {
+	checkBlocks(r, spec)
+	checkRegions(r, spec)
+	checkSyscalls(r, spec)
+}
+
+func checkBlocks(r *Report, spec *core.SynthSpec) {
+	seenOps := map[isa.Op]bool{}
+	seenBranchIDs := map[int32]int{}
+	type pcRange struct{ lo, hi uint64 }
+	var ranges []pcRange
+
+	for bi := range spec.Body.Blocks {
+		blk := &spec.Body.Blocks[bi]
+		if blk.InstWS <= 0 {
+			r.specFinding("block-shape", SevError, bi, -1, "instruction working set %dB", blk.InstWS)
+		}
+		if len(blk.Instrs) == 0 {
+			r.specFinding("block-shape", SevError, bi, -1, "block has no instructions")
+			continue
+		}
+		if len(blk.Aux) != len(blk.Instrs) {
+			r.specFinding("block-shape", SevError, bi, -1,
+				"%d aux entries for %d instructions", len(blk.Aux), len(blk.Instrs))
+			continue
+		}
+		if static := len(blk.Instrs) * isa.InstrBytes; static > blk.InstWS && blk.InstWS > 64 {
+			r.specFinding("block-shape", SevError, bi, -1,
+				"static code %dB exceeds the block's %dB instruction working set", static, blk.InstWS)
+		}
+		if !(blk.LoopsPerRequest >= 0) || math.IsInf(blk.LoopsPerRequest, 0) {
+			r.specFinding("block-shape", SevError, bi, -1,
+				"loops per request = %v", blk.LoopsPerRequest)
+		}
+
+		for s := range blk.Instrs {
+			in := &blk.Instrs[s]
+			aux := &blk.Aux[s]
+
+			// Iform consistency with isa.Table, memoized per opcode.
+			if !seenOps[in.Op] {
+				seenOps[in.Op] = true
+				if err := isa.ValidateOp(in.Op); err != nil {
+					r.specFinding("iform", SevError, bi, s, "%v", err)
+				}
+			}
+			if int(in.Op) >= isa.NumOps {
+				continue // no form to check against
+			}
+			f := &isa.Table[in.Op]
+
+			// Operand registers must match the iform's operand class.
+			for _, reg := range [3]isa.Reg{in.Dst, in.Src1, in.Src2} {
+				if !isa.RegMatchesOperands(f.Operands, reg) {
+					r.specFinding("operand-class", SevError, bi, s,
+						"%s (%s operands) uses register %v", f.Name, f.Operands, reg)
+				}
+			}
+
+			// PC layout: slots are contiguous InstrBytes-sized cells.
+			if s > 0 && in.PC != blk.Instrs[s-1].PC+isa.InstrBytes {
+				r.specFinding("pc-layout", SevError, bi, s,
+					"pc %#x does not follow %#x", in.PC, blk.Instrs[s-1].PC)
+			}
+
+			// Branch identity and aux agreement.
+			switch {
+			case f.Branch:
+				if !aux.IsBranch {
+					r.specFinding("aux-mismatch", SevError, bi, s, "%s without branch aux", f.Name)
+				}
+				if in.BranchID < 0 {
+					r.specFinding("branch-id", SevError, bi, s, "branch without a static site id")
+				} else if prev, dup := seenBranchIDs[in.BranchID]; dup {
+					r.specFinding("branch-id", SevError, bi, s,
+						"branch site id %d already used at slot %d (aliased predictor state)",
+						in.BranchID, prev)
+				} else {
+					seenBranchIDs[in.BranchID] = s
+				}
+				if aux.M < 1 || aux.M > 10 || aux.N < 1 || aux.N > 10 {
+					r.specFinding("branch-mask", SevError, bi, s,
+						"bitmask parameters M=%d N=%d outside the quantization range [1,10]", aux.M, aux.N)
+				}
+			case aux.IsBranch:
+				r.specFinding("aux-mismatch", SevError, bi, s, "branch aux on %s", f.Name)
+			default:
+				if in.BranchID != -1 {
+					r.specFinding("branch-id", SevError, bi, s,
+						"non-branch %s carries branch site id %d", f.Name, in.BranchID)
+				}
+			}
+
+			// Memory-slot aux agreement and region bounds.
+			isMemOp := f.Load || f.Store
+			if isMemOp && !aux.IsMem {
+				r.specFinding("aux-mismatch", SevError, bi, s, "%s without memory aux", f.Name)
+			}
+			if aux.IsMem && !isMemOp {
+				r.specFinding("aux-mismatch", SevError, bi, s, "memory aux on %s", f.Name)
+			}
+			if aux.IsMem && (aux.Region < 0 || aux.Region >= len(spec.Body.Regions)) {
+				r.specFinding("region-range", SevError, bi, s,
+					"memory slot targets region %d of %d", aux.Region, len(spec.Body.Regions))
+			}
+			if aux.IsRep != f.Rep {
+				r.specFinding("aux-mismatch", SevError, bi, s, "rep aux disagrees with %s", f.Name)
+			}
+			if f.Rep && in.RepCount < 1 {
+				r.specFinding("rep-count", SevError, bi, s, "%s with RepCount %d", f.Name, in.RepCount)
+			}
+			if in.Kernel {
+				r.specFinding("kernel-flag", SevError, bi, s,
+					"generated body instruction marked kernel-mode")
+			}
+		}
+
+		checkCFG(r, bi, blk)
+		ranges = append(ranges, pcRange{lo: blk.Instrs[0].PC,
+			hi: blk.Instrs[0].PC + uint64(len(blk.Instrs))*isa.InstrBytes})
+	}
+
+	// Blocks must occupy disjoint code ranges (distinct i-cache footprints).
+	for i := 0; i < len(ranges); i++ {
+		for j := i + 1; j < len(ranges); j++ {
+			if ranges[i].lo < ranges[j].hi && ranges[j].lo < ranges[i].hi {
+				r.specFinding("block-overlap", SevError, i, -1,
+					"code range [%#x,%#x) overlaps block %d's [%#x,%#x)",
+					ranges[i].lo, ranges[i].hi, j, ranges[j].lo, ranges[j].hi)
+			}
+		}
+	}
+}
+
+func checkRegions(r *Report, spec *core.SynthSpec) {
+	if len(spec.Body.Blocks) > 0 && spec.Body.ArrayBytes == 0 {
+		r.specFinding("region-bounds", SevError, -1, -1, "body has blocks but no data array")
+	}
+	regs := spec.Body.Regions
+	for i, reg := range regs {
+		if reg.WSBytes <= 0 || reg.Span == 0 {
+			r.specFinding("region-bounds", SevError, -1, -1,
+				"region %d: ws=%dB span=%d", i, reg.WSBytes, reg.Span)
+			continue
+		}
+		if reg.Start+reg.Span > spec.Body.ArrayBytes {
+			r.specFinding("region-bounds", SevError, -1, -1,
+				"region %d: [%d,%d) exceeds the %dB data array",
+				i, reg.Start, reg.Start+reg.Span, spec.Body.ArrayBytes)
+		}
+	}
+	// The Fig. 4 layout nests working sets: [2^(i-1), 2^i) spans are
+	// disjoint, except that sub-line sets all collapse onto the first line.
+	for i := 0; i < len(regs); i++ {
+		for j := i + 1; j < len(regs); j++ {
+			if regs[i].WSBytes <= 64 && regs[j].WSBytes <= 64 {
+				continue
+			}
+			iEnd, jEnd := regs[i].Start+regs[i].Span, regs[j].Start+regs[j].Span
+			if regs[i].Start < jEnd && regs[j].Start < iEnd {
+				r.specFinding("region-overlap", SevError, -1, -1,
+					"region %d [%d,%d) overlaps region %d [%d,%d)",
+					i, regs[i].Start, iEnd, j, regs[j].Start, jEnd)
+			}
+		}
+	}
+}
+
+// replayableOps is the closed set of syscalls a generated clone replays
+// directly; network and scheduler calls belong to the skeleton.
+var replayableOps = map[kernel.SyscallOp]bool{
+	kernel.SysOpen: true, kernel.SysClose: true, kernel.SysPread: true,
+	kernel.SysWrite: true, kernel.SysMmap: true,
+}
+
+func checkSyscalls(r *Report, spec *core.SynthSpec) {
+	for i, p := range spec.Syscalls {
+		if !replayableOps[p.Op] {
+			r.specFinding("syscall-plan", SevError, -1, -1,
+				"entry %d replays %v, outside the replayable set", i, p.Op)
+		}
+		if !(p.PerRequest >= 0) || math.IsInf(p.PerRequest, 0) {
+			r.specFinding("syscall-plan", SevError, -1, -1,
+				"entry %d (%v): rate %v per request", i, p.Op, p.PerRequest)
+		}
+		if p.Bytes < 0 {
+			r.specFinding("syscall-plan", SevError, -1, -1,
+				"entry %d (%v): negative byte count %d", i, p.Op, p.Bytes)
+		}
+		if p.FileSize < 0 {
+			r.specFinding("syscall-plan", SevError, -1, -1,
+				"entry %d (%v): negative file size %d", i, p.Op, p.FileSize)
+		}
+		if (p.Op == kernel.SysPread || p.Op == kernel.SysWrite) &&
+			p.FileSize > 0 && int64(p.Bytes) > p.FileSize {
+			r.specFinding("syscall-plan", SevError, -1, -1,
+				"entry %d (%v): %dB transfers against a %dB file", i, p.Op, p.Bytes, p.FileSize)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package verify is the static-analysis layer over Ditto's generated
+// clones and over the simulator's own source.
+//
+// Layer 1 (the clone verifier, Spec) checks a generated core.SynthSpec
+// against the profile it came from before a single simulated cycle is
+// spent: it builds a control-flow graph over the body's instruction blocks
+// and runs structural checks (branch-target integrity, register
+// def-before-use along all paths, iform/port/latency consistency with
+// isa.Table, memory-region layout, syscall-plan sanity) plus statistical
+// conformance checks (instruction mix, branch-behaviour histogram,
+// instruction- and data-working-set CDFs, and the per-request instruction
+// budget must all sit within configurable tolerances of the source
+// AppProfile — the fidelity contract of §4.4 of the paper).
+//
+// Layer 2 (the determinism linter, Lint) parses the repository with
+// go/parser and go/types and flags source constructs that would break
+// reproducible seeds inside the deterministic model packages: time.Now,
+// package-level math/rand draws, and map-iteration-order-dependent
+// accumulation.
+//
+// Both layers report Findings with positions, severities and
+// machine-readable JSON output; cmd/dittolint is the CLI surface and
+// core.PostGenerate is the generation-time hook.
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ditto/internal/core"
+	"ditto/internal/profile"
+)
+
+// Severity ranks a finding.
+type Severity string
+
+// Severity levels: Error findings fail verification, Warn findings indicate
+// suspicious-but-tolerated constructs, Info findings are observations.
+const (
+	SevError Severity = "error"
+	SevWarn  Severity = "warn"
+	SevInfo  Severity = "info"
+)
+
+// Finding is one verification or lint result.
+type Finding struct {
+	Layer    string   `json:"layer"` // "clone" or "lint"
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	Detail   string   `json:"detail"`
+
+	// Clone-verifier position: block and slot indices, -1 when not
+	// applicable (region, syscall and whole-spec findings).
+	Block int `json:"block"`
+	Slot  int `json:"slot"`
+
+	// Linter position: file:line:col.
+	Pos string `json:"pos,omitempty"`
+}
+
+func (f Finding) String() string {
+	loc := f.Pos
+	if loc == "" && f.Block >= 0 {
+		loc = fmt.Sprintf("block %d", f.Block)
+		if f.Slot >= 0 {
+			loc += fmt.Sprintf(" slot %d", f.Slot)
+		}
+	}
+	if loc == "" {
+		return fmt.Sprintf("%s: [%s] %s", f.Severity, f.Rule, f.Detail)
+	}
+	return fmt.Sprintf("%s: %s: [%s] %s", f.Severity, loc, f.Rule, f.Detail)
+}
+
+// Stat is one conformance measurement: a reconstructed statistic of the
+// generated program against its profile-derived expectation.
+type Stat struct {
+	Name string  `json:"name"`
+	Got  float64 `json:"got"`
+	Want float64 `json:"want"`
+	Err  float64 `json:"err"` // the distance the tolerance applies to
+	Tol  float64 `json:"tol"`
+	Pass bool    `json:"pass"`
+}
+
+// Report is the outcome of one verification run.
+type Report struct {
+	Name        string    `json:"name"`
+	Findings    []Finding `json:"findings"`
+	Conformance []Stat    `json:"conformance,omitempty"`
+}
+
+// add appends a finding.
+func (r *Report) add(f Finding) { r.Findings = append(r.Findings, f) }
+
+// specFinding appends a clone-layer finding at block/slot (use -1 for n/a).
+func (r *Report) specFinding(rule string, sev Severity, block, slot int, format string, args ...any) {
+	r.add(Finding{Layer: "clone", Rule: rule, Severity: sev, Block: block, Slot: slot,
+		Detail: fmt.Sprintf(format, args...)})
+}
+
+// Errors counts error-severity findings.
+func (r *Report) Errors() int {
+	n := 0
+	for _, f := range r.Findings {
+		if f.Severity == SevError {
+			n++
+		}
+	}
+	return n
+}
+
+// OK reports whether the run produced no error-severity findings.
+func (r *Report) OK() bool { return r.Errors() == 0 }
+
+// JSON renders the report as machine-readable JSON.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// String renders a human-readable report: findings ordered by severity,
+// then the conformance table.
+func (r *Report) String() string {
+	var b strings.Builder
+	order := map[Severity]int{SevError: 0, SevWarn: 1, SevInfo: 2}
+	fs := append([]Finding(nil), r.Findings...)
+	sort.SliceStable(fs, func(i, j int) bool { return order[fs[i].Severity] < order[fs[j].Severity] })
+	for _, f := range fs {
+		fmt.Fprintf(&b, "%s\n", f)
+	}
+	if len(r.Conformance) > 0 {
+		fmt.Fprintf(&b, "%-22s %10s %10s %8s %8s  %s\n", "conformance", "got", "want", "err", "tol", "pass")
+		for _, s := range r.Conformance {
+			fmt.Fprintf(&b, "%-22s %10.4f %10.4f %8.4f %8.4f  %v\n", s.Name, s.Got, s.Want, s.Err, s.Tol, s.Pass)
+		}
+	}
+	if r.OK() {
+		fmt.Fprintf(&b, "%s: ok (%d findings, 0 errors)\n", r.Name, len(r.Findings))
+	} else {
+		fmt.Fprintf(&b, "%s: FAILED (%d errors)\n", r.Name, r.Errors())
+	}
+	return b.String()
+}
+
+// Tolerances configures the conformance checks. A share check passes when
+// |got-want| <= Abs or the relative error <= Rel; distribution checks
+// compare total-variation or Kolmogorov–Smirnov distance against their
+// dedicated bounds.
+type Tolerances struct {
+	ShareAbs  float64 // absolute slack for scalar shares (branch/mem/store/rep/ptr)
+	ShareRel  float64 // relative slack for scalar shares
+	MixTV     float64 // total-variation bound for the computational mix
+	BranchTV  float64 // total-variation bound for the (M,N) branch histogram
+	WSKS      float64 // Kolmogorov–Smirnov bound for IWS/DWS CDFs
+	BudgetRel float64 // relative bound for the per-request instruction budget
+}
+
+// DefaultTolerances matches the sampling noise of realistic block sizes:
+// shares are estimated over thousands of dynamically weighted slots, so a
+// few percent absolute (or 30% relative, whichever is looser) separates
+// generation bugs from sampling variance.
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		ShareAbs:  0.04,
+		ShareRel:  0.30,
+		MixTV:     0.10,
+		BranchTV:  0.10,
+		WSKS:      0.10,
+		BudgetRel: 0.12,
+	}
+}
+
+// Spec runs the Layer-1 clone verification of spec against the profile it
+// was generated from.
+func Spec(spec *core.SynthSpec, prof *profile.AppProfile, tol Tolerances) *Report {
+	r := &Report{Name: spec.Name}
+	checkStructure(r, spec)
+	checkConformance(r, spec, prof, tol)
+	return r
+}
+
+// InstallGenerateHook wires the clone verifier into core.Generate as a
+// post-condition: every generated spec is structurally verified (the cheap
+// layer; conformance is skipped so fine-tuning loops stay fast), and onFail
+// is called with the report when verification finds errors. It returns a
+// function restoring the previous hook.
+func InstallGenerateHook(onFail func(*Report)) func() {
+	prev := core.PostGenerate
+	core.PostGenerate = func(spec *core.SynthSpec, prof *profile.AppProfile) {
+		r := &Report{Name: spec.Name}
+		checkStructure(r, spec)
+		if !r.OK() {
+			onFail(r)
+		}
+	}
+	return func() { core.PostGenerate = prev }
+}

@@ -1,0 +1,318 @@
+package verify
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ditto/internal/core"
+	"ditto/internal/isa"
+	"ditto/internal/kernel"
+	"ditto/internal/profile"
+)
+
+// sampleProfile mirrors the hand-written profile used by the generator's
+// own tests: plausible shares, three IWS/DWS bins, a replayable file
+// syscall pair.
+func sampleProfile() *profile.AppProfile {
+	p := &profile.AppProfile{
+		Name:          "toy",
+		Requests:      1000,
+		ReqBytesMean:  64,
+		RespBytesMean: 1024,
+		Skeleton:      profile.SkeletonProfile{NetworkModel: "iomux", Workers: 1},
+		Syscalls: []profile.SyscallStat{
+			{Op: kernel.SysRecv, PerRequest: 1, MeanBytes: 64},
+			{Op: kernel.SysSend, PerRequest: 1, MeanBytes: 1024},
+			{Op: kernel.SysPread, PerRequest: 0.5, MeanBytes: 16384,
+				File: "file:/d", FileSize: 1 << 30, UniformOffsets: true},
+			{Op: kernel.SysOpen, PerRequest: 0.5, MeanBytes: 0, File: "file:/d", FileSize: 1 << 30},
+			{Op: kernel.SysClose, PerRequest: 0.5},
+			{Op: kernel.SysEpollWait, PerRequest: 1},
+		},
+	}
+	b := &p.Body
+	b.InstrsPerRequest = 4000
+	b.Mix = []profile.MixEntry{
+		{Op: isa.ADDrr, Share: 0.45}, {Op: isa.MOVload, Share: 0.25},
+		{Op: isa.MOVstore, Share: 0.1}, {Op: isa.JCC, Share: 0.12},
+		{Op: isa.IMULrr, Share: 0.04}, {Op: isa.CRC32rr, Share: 0.04},
+	}
+	b.BranchShare = 0.12
+	b.MemShare = 0.35
+	b.Branches = []profile.BranchBin{{M: 1, N: 2, Weight: 0.6}, {M: 3, N: 4, Weight: 0.4}}
+	b.StaticBranches = 400
+	b.RAW.Bins[1] = 0.5
+	b.RAW.Bins[4] = 0.5
+	b.WAW.Bins[3] = 1
+	b.WAR.Bins[2] = 1
+	b.IWS = []profile.WSBin{
+		{Bytes: 64, Count: 1000}, {Bytes: 4096, Count: 2000}, {Bytes: 65536, Count: 1000},
+	}
+	b.DWS = []profile.WSBin{
+		{Bytes: 4096, Count: 700}, {Bytes: 1 << 20, Count: 500}, {Bytes: 16 << 20, Count: 200},
+	}
+	b.RegularFrac = 0.4
+	b.PointerFrac = 0.2
+	b.SharedFrac = 0.05
+	b.StoreFrac = 0.25
+	b.RepFrac = 0.02
+	b.RepBytesMean = 1024
+	p.Target = profile.TargetMetrics{IPC: 1.1, BranchMiss: 0.04,
+		L1iMiss: 0.03, L1dMiss: 0.08, L2Miss: 0.3, L3Miss: 0.4, KernelShare: 0.5}
+	return p
+}
+
+// copySpec deep-copies a spec through its JSON encoding so mutation cases
+// cannot leak into each other.
+func copySpec(t *testing.T, spec *core.SynthSpec) *core.SynthSpec {
+	t.Helper()
+	data, err := spec.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	cp, err := core.DecodeSynthSpec(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return cp
+}
+
+func hasRule(r *Report, rule string) bool {
+	for _, f := range r.Findings {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGeneratedSpecsVerifyClean(t *testing.T) {
+	prof := sampleProfile()
+	for _, seed := range []int64{1, 2, 3, 17, 99} {
+		spec := core.Generate(prof, seed)
+		r := Spec(spec, prof, DefaultTolerances())
+		if !r.OK() {
+			t.Errorf("seed %d: generated spec fails verification:\n%s", seed, r)
+		}
+	}
+}
+
+// findSlot returns the block/slot indices of the first slot satisfying
+// pred, failing the test when none exists.
+func findSlot(t *testing.T, spec *core.SynthSpec, pred func(in *isa.Instr, aux *core.SlotAux) bool) (int, int) {
+	t.Helper()
+	for bi := range spec.Body.Blocks {
+		blk := &spec.Body.Blocks[bi]
+		for s := range blk.Instrs {
+			if pred(&blk.Instrs[s], &blk.Aux[s]) {
+				return bi, s
+			}
+		}
+	}
+	t.Fatal("no slot matches the predicate")
+	return -1, -1
+}
+
+func isBranchSlot(in *isa.Instr, aux *core.SlotAux) bool { return aux.IsBranch }
+func isCompSlot(in *isa.Instr, aux *core.SlotAux) bool {
+	return !aux.IsBranch && !aux.IsMem
+}
+
+func TestVerifierCatchesInvalidSpecs(t *testing.T) {
+	prof := sampleProfile()
+	base := core.Generate(prof, 7)
+	if r := Spec(base, prof, DefaultTolerances()); !r.OK() {
+		t.Fatalf("baseline spec must verify:\n%s", r)
+	}
+
+	cases := []struct {
+		name   string
+		rule   string
+		mutate func(t *testing.T, s *core.SynthSpec)
+	}{
+		{"dangling branch target", "branch-target", func(t *testing.T, s *core.SynthSpec) {
+			bi, sl := findSlot(t, s, isBranchSlot)
+			if sl == len(s.Body.Blocks[bi].Instrs)-1 {
+				t.Fatal("pick a non-final branch slot")
+			}
+			// Shift every PC from the slot after the branch: the implicit
+			// next-line target now points into a hole.
+			blk := &s.Body.Blocks[bi]
+			for i := sl + 1; i < len(blk.Instrs); i++ {
+				blk.Instrs[i].PC += 2 * isa.InstrBytes
+			}
+		}},
+		{"read before write", "read-before-write", func(t *testing.T, s *core.SynthSpec) {
+			bi, sl := findSlot(t, s, isCompSlot)
+			s.Body.Blocks[bi].Instrs[sl].Src1 = isa.R13 // outside the prologue contract
+		}},
+		{"write to runtime-reserved register", "reserved-register", func(t *testing.T, s *core.SynthSpec) {
+			bi, sl := findSlot(t, s, isCompSlot)
+			s.Body.Blocks[bi].Instrs[sl].Dst = isa.R9 // loop counter
+		}},
+		{"pointer-chase cell written by ALU op", "reserved-register", func(t *testing.T, s *core.SynthSpec) {
+			bi, sl := findSlot(t, s, isCompSlot)
+			s.Body.Blocks[bi].Instrs[sl].Dst = isa.R11
+		}},
+		{"unknown opcode", "iform", func(t *testing.T, s *core.SynthSpec) {
+			bi, sl := findSlot(t, s, isCompSlot)
+			s.Body.Blocks[bi].Instrs[sl].Op = isa.Op(isa.NumOps + 5)
+		}},
+		{"vector register on scalar iform", "operand-class", func(t *testing.T, s *core.SynthSpec) {
+			bi, sl := findSlot(t, s, func(in *isa.Instr, aux *core.SlotAux) bool {
+				return isCompSlot(in, aux) && isa.Table[in.Op].Operands == isa.OpGPR
+			})
+			s.Body.Blocks[bi].Instrs[sl].Dst = isa.X0
+		}},
+		{"instruction mix drift", "mix-tv", func(t *testing.T, s *core.SynthSpec) {
+			for bi := range s.Body.Blocks {
+				blk := &s.Body.Blocks[bi]
+				for i := range blk.Instrs {
+					if isCompSlot(&blk.Instrs[i], &blk.Aux[i]) {
+						blk.Instrs[i].Op = isa.POPCNTrr
+					}
+				}
+			}
+		}},
+		{"instruction budget drift", "budget", func(t *testing.T, s *core.SynthSpec) {
+			for bi := range s.Body.Blocks {
+				s.Body.Blocks[bi].LoopsPerRequest *= 2
+			}
+		}},
+		{"branch mask outside quantization range", "branch-mask", func(t *testing.T, s *core.SynthSpec) {
+			bi, sl := findSlot(t, s, isBranchSlot)
+			s.Body.Blocks[bi].Aux[sl].M = 0
+		}},
+		{"duplicate branch site id", "branch-id", func(t *testing.T, s *core.SynthSpec) {
+			b0, s0 := findSlot(t, s, isBranchSlot)
+			id := s.Body.Blocks[b0].Instrs[s0].BranchID
+			bi, sl := findSlot(t, s, func(in *isa.Instr, aux *core.SlotAux) bool {
+				return aux.IsBranch && in.BranchID != id
+			})
+			s.Body.Blocks[bi].Instrs[sl].BranchID = id
+		}},
+		{"memory aux on ALU op", "aux-mismatch", func(t *testing.T, s *core.SynthSpec) {
+			bi, sl := findSlot(t, s, isCompSlot)
+			s.Body.Blocks[bi].Aux[sl].IsMem = true
+		}},
+		{"memory slot targets missing region", "region-range", func(t *testing.T, s *core.SynthSpec) {
+			bi, sl := findSlot(t, s, func(in *isa.Instr, aux *core.SlotAux) bool { return aux.IsMem })
+			s.Body.Blocks[bi].Aux[sl].Region = len(s.Body.Regions) + 3
+		}},
+		{"region exceeds data array", "region-bounds", func(t *testing.T, s *core.SynthSpec) {
+			last := &s.Body.Regions[len(s.Body.Regions)-1]
+			last.Span = s.Body.ArrayBytes + 4096
+		}},
+		{"overlapping regions", "region-overlap", func(t *testing.T, s *core.SynthSpec) {
+			if len(s.Body.Regions) < 2 {
+				t.Fatal("need two regions")
+			}
+			s.Body.Regions[1].Start = s.Body.Regions[2].Start
+			s.Body.Regions[1].Span = s.Body.Regions[2].Span
+		}},
+		{"overlapping code ranges", "block-overlap", func(t *testing.T, s *core.SynthSpec) {
+			if len(s.Body.Blocks) < 2 {
+				t.Fatal("need two blocks")
+			}
+			delta := s.Body.Blocks[1].Instrs[0].PC - s.Body.Blocks[0].Instrs[0].PC
+			for i := range s.Body.Blocks[1].Instrs {
+				s.Body.Blocks[1].Instrs[i].PC -= delta
+			}
+		}},
+		{"negative syscall rate", "syscall-plan", func(t *testing.T, s *core.SynthSpec) {
+			s.Syscalls[0].PerRequest = -0.5
+		}},
+		{"dropped replayable syscall", "syscall-conformance", func(t *testing.T, s *core.SynthSpec) {
+			s.Syscalls = s.Syscalls[:len(s.Syscalls)-1]
+		}},
+		{"skeleton not carried over", "skeleton", func(t *testing.T, s *core.SynthSpec) {
+			s.Skeleton.Workers += 3
+		}},
+		{"message sizes drift", "message-size", func(t *testing.T, s *core.SynthSpec) {
+			s.RespBytes *= 4
+		}},
+		{"kernel-mode body instruction", "kernel-flag", func(t *testing.T, s *core.SynthSpec) {
+			bi, sl := findSlot(t, s, isCompSlot)
+			s.Body.Blocks[bi].Instrs[sl].Kernel = true
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := copySpec(t, base)
+			tc.mutate(t, spec)
+			r := Spec(spec, prof, DefaultTolerances())
+			if r.OK() {
+				t.Fatalf("mutation not caught; report:\n%s", r)
+			}
+			if !hasRule(r, tc.rule) {
+				t.Fatalf("want a %q finding, got:\n%s", tc.rule, r)
+			}
+		})
+	}
+}
+
+func TestGenerateHookFiresOnBrokenSpec(t *testing.T) {
+	var got *Report
+	restore := InstallGenerateHook(func(r *Report) { got = r })
+	defer restore()
+
+	prof := sampleProfile()
+	spec := core.Generate(prof, 5)
+	if got != nil {
+		t.Fatalf("hook fired on a valid generation:\n%s", got)
+	}
+
+	bad := copySpec(t, spec)
+	bi, sl := findSlot(t, bad, isCompSlot)
+	bad.Body.Blocks[bi].Instrs[sl].Src1 = isa.R14
+	core.PostGenerate(bad, prof)
+	if got == nil {
+		t.Fatal("hook did not fire on a structurally broken spec")
+	}
+	if !hasRule(got, "read-before-write") {
+		t.Fatalf("unexpected hook report:\n%s", got)
+	}
+
+	restore()
+	if core.PostGenerate != nil {
+		t.Fatal("restore did not clear the hook")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	prof := sampleProfile()
+	spec := core.Generate(prof, 11)
+	r := Spec(spec, prof, DefaultTolerances())
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Name != r.Name || len(back.Conformance) != len(r.Conformance) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if !strings.Contains(r.String(), "conformance") {
+		t.Fatal("human-readable report missing the conformance table")
+	}
+}
+
+func TestTVAndKSDistances(t *testing.T) {
+	a := map[int]float64{1: 1, 2: 1}
+	if d := tvDistance(a, a); d != 0 {
+		t.Fatalf("tv(self) = %v", d)
+	}
+	b := map[int]float64{3: 1}
+	if d := tvDistance(a, b); d != 1 {
+		t.Fatalf("tv(disjoint) = %v", d)
+	}
+	if d := ksDistance([]int{1, 2, 3}, a, b); d != 1 {
+		t.Fatalf("ks = %v", d)
+	}
+	if d := ksDistance(nil, nil, nil); d != 0 {
+		t.Fatalf("ks(empty) = %v", d)
+	}
+}
