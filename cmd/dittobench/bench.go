@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ditto/internal/experiments"
+	"ditto/internal/sim"
+)
+
+// benchReport is the schema of the -bench-json artifact. It freezes the
+// engine hot-path cost (pooled vs unpooled scheduling) and the evaluation
+// layer's parallel speedup so later PRs can diff against it.
+type benchReport struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	// Engine micro-benchmarks, one schedule+fire per op.
+	EngineAfter     benchStat `json:"engine_after"`      // handle-returning, heap-allocating
+	EngineAfterFunc benchStat `json:"engine_after_func"` // pooled free-list path
+
+	// One end-to-end figure cell (fig8 nginx actual, quick windows).
+	FigureCell benchStat `json:"figure_cell"`
+
+	// Wall clock of the fig11 grid at pool width 1 vs GOMAXPROCS.
+	GridSerialSec   float64 `json:"grid_serial_sec"`
+	GridParallelSec float64 `json:"grid_parallel_sec"`
+	GridWidth       int     `json:"grid_width"`
+	Speedup         float64 `json:"speedup"`
+}
+
+type benchStat struct {
+	N        int     `json:"n"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+	BytesOp  float64 `json:"bytes_per_op"`
+}
+
+func statOf(r testing.BenchmarkResult) benchStat {
+	return benchStat{
+		N:        r.N,
+		NsPerOp:  float64(r.NsPerOp()),
+		AllocsOp: float64(r.AllocsPerOp()),
+		BytesOp:  float64(r.AllocedBytesPerOp()),
+	}
+}
+
+// writeBenchJSON runs the PR's benchmark suite and writes the report. It is
+// invoked from a plain main (not `go test`), so it drives testing.Benchmark
+// directly; windows are forced to quick so the artifact regenerates in
+// seconds.
+func writeBenchJSON(path string, opt experiments.Options) error {
+	opt.Windows = experiments.Windows{Warmup: 10 * sim.Millisecond, Measure: 50 * sim.Millisecond}
+	opt.TuneIters = 0
+	opt.IncludeSocial = false
+	opt.Quiet = true
+	opt.Apps = []string{"nginx"}
+	opt.CellFilter = nil
+	opt.Progress = nil
+
+	rep := benchReport{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	fmt.Fprintln(os.Stderr, "bench: engine schedule+fire (unpooled After)")
+	rep.EngineAfter = statOf(testing.Benchmark(func(b *testing.B) {
+		eng := sim.NewEngine()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.After(sim.Microsecond, func() {})
+			eng.Step()
+		}
+	}))
+	fmt.Fprintln(os.Stderr, "bench: engine schedule+fire (pooled AfterFunc)")
+	rep.EngineAfterFunc = statOf(testing.Benchmark(func(b *testing.B) {
+		eng := sim.NewEngine()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.AfterFunc(sim.Microsecond, func() {})
+			eng.Step()
+		}
+	}))
+
+	fmt.Fprintln(os.Stderr, "bench: end-to-end figure cell (fig8, nginx, quick windows)")
+	cellOpt := opt
+	rep.FigureCell = statOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			experiments.RunFig8(discard{}, cellOpt)
+		}
+	}))
+
+	width := runtime.GOMAXPROCS(0)
+	fmt.Fprintf(os.Stderr, "bench: fig11 corner grid, pool width 1 vs %d\n", width)
+	// The heatmap's four corners keep the artifact quick to regenerate; on a
+	// single-core host the speedup is honestly ~1x (cells are CPU-bound).
+	cores, freqs := []int{4, 16}, []float64{1.1, 2.1}
+	gridOpt := opt
+	gridOpt.Parallel = 1
+	t0 := time.Now()
+	experiments.RunFig11(discard{}, gridOpt, cores, freqs)
+	rep.GridSerialSec = time.Since(t0).Seconds()
+	gridOpt.Parallel = width
+	t0 = time.Now()
+	experiments.RunFig11(discard{}, gridOpt, cores, freqs)
+	rep.GridParallelSec = time.Since(t0).Seconds()
+	rep.GridWidth = width
+	if rep.GridParallelSec > 0 {
+		rep.Speedup = rep.GridSerialSec / rep.GridParallelSec
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (speedup %.2fx, allocs/op %0.f -> %.0f)\n",
+		path, rep.Speedup, rep.EngineAfter.AllocsOp, rep.EngineAfterFunc.AllocsOp)
+	return nil
+}
+
+// discard is an io.Writer sink; the bench mode measures work, not output.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -1,32 +1,43 @@
 // Command dittobench regenerates the paper's evaluation artifacts: every
-// table and figure of §6, printed as machine-readable rows.
+// table and figure of §6, printed as machine-readable rows. Figures execute
+// as cell plans on a bounded worker pool; output is bit-identical at every
+// -parallel width.
 //
 // Usage:
 //
-//	dittobench -run fig5 [-tune 4] [-ms 160] [-seed 1] [-apps redis,nginx]
-//	dittobench -run all
+//	dittobench -run fig5 [-parallel 8] [-tune 4] [-ms 160] [-seed 1] [-apps redis,nginx]
+//	dittobench -run 'fig11/c4/.*'          # regex over cell names
+//	dittobench -run all -progress
+//	dittobench -bench-json BENCH_PR2.json  # perf baseline mode
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strings"
 
 	"ditto/internal/app"
 	"ditto/internal/experiments"
 	"ditto/internal/platform"
+	"ditto/internal/runner"
 	"ditto/internal/sim"
 )
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "experiment: table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|phases|all")
-		tune  = flag.Int("tune", 3, "fine-tuning iterations per clone")
-		ms    = flag.Int("ms", 160, "measurement window (simulated ms)")
-		seed  = flag.Int64("seed", 1, "simulation seed")
-		apps  = flag.String("apps", "", "comma-separated app filter for fig5/7/8")
-		quick = flag.Bool("quick", false, "small windows, no tuning (smoke run)")
+		run = flag.String("run", "all",
+			"regexp over cell names (e.g. 'fig5/redis/.*'); experiment names (table1|fig5|...|phases) and 'all' also work")
+		parallel  = flag.Int("parallel", 0, "cell worker pool size (0 = GOMAXPROCS); any width yields identical output")
+		progress  = flag.Bool("progress", false, "report per-cell completions on stderr")
+		tune      = flag.Int("tune", 3, "fine-tuning iterations per clone")
+		ms        = flag.Int("ms", 160, "measurement window (simulated ms)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		apps      = flag.String("apps", "", "comma-separated app filter for fig5/7/8")
+		quick     = flag.Bool("quick", false, "small windows, no tuning (smoke run)")
+		benchJSON = flag.String("bench-json", "",
+			"write engine and cell benchmarks plus a parallel speedup measurement as JSON to this file, then exit")
 	)
 	flag.Parse()
 
@@ -38,6 +49,7 @@ func main() {
 		TuneIters:     *tune,
 		Seed:          *seed,
 		IncludeSocial: true,
+		Parallel:      *parallel,
 	}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
@@ -47,40 +59,62 @@ func main() {
 		opt.TuneIters = 0
 		opt.IncludeSocial = false
 	}
-
-	w := os.Stdout
-	runOne := func(name string) {
-		switch name {
-		case "table1":
-			experiments.RunTable1(w)
-		case "fig5":
-			experiments.RunFig5(w, opt)
-		case "fig6":
-			experiments.RunFig6(w, opt, nil)
-		case "fig7":
-			experiments.RunFig7(w, opt)
-		case "fig8":
-			experiments.RunFig8(w, opt)
-		case "fig9":
-			experiments.RunFig9(w, opt)
-		case "fig10":
-			experiments.RunFig10(w, opt)
-		case "fig11":
-			experiments.RunFig11(w, opt, nil, nil)
-		case "phases":
-			experiments.RunPhaseScan(w, opt, func(m *platform.Machine) app.App {
-				return app.NewRedis(m, 6379, opt.Seed)
-			}, experiments.Load{Conns: 8, Seed: opt.Seed}, 10)
-		default:
-			fmt.Fprintf(os.Stderr, "dittobench: unknown experiment %q\n", name)
-			os.Exit(2)
+	if *progress {
+		opt.Progress = func(done, total int, r runner.CellResult) {
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-40s %8.2fs\n",
+				done, total, r.Name, r.Elapsed.Seconds())
 		}
 	}
-	if *run == "all" {
-		for _, name := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"} {
-			runOne(name)
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "dittobench: %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
-	runOne(*run)
+
+	w := os.Stdout
+	if *run == "all" {
+		experiments.RunTable1(w)
+		for _, f := range figures(opt) {
+			f(w)
+		}
+		return
+	}
+
+	re, err := regexp.Compile(*run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dittobench: bad -run regexp %q: %v\n", *run, err)
+		os.Exit(2)
+	}
+	// table1 and phases are single-shot artifacts without plans; they run
+	// when the pattern names them. Every plan-backed figure self-selects:
+	// it runs exactly the cells the pattern matches and stays silent when
+	// none do.
+	if re.MatchString("table1") {
+		experiments.RunTable1(w)
+	}
+	opt.CellFilter = re
+	for _, f := range figures(opt) {
+		f(w)
+	}
+	if re.MatchString("phases") {
+		experiments.RunPhaseScan(w, opt, func(m *platform.Machine) app.App {
+			return app.NewRedis(m, 6379, opt.Seed)
+		}, experiments.Load{Conns: 8, Seed: opt.Seed}, 10)
+	}
+}
+
+// figures lists the plan-backed artifact runners in paper order.
+func figures(opt experiments.Options) []func(w *os.File) {
+	return []func(w *os.File){
+		func(w *os.File) { experiments.RunFig5(w, opt) },
+		func(w *os.File) { experiments.RunFig6(w, opt, nil) },
+		func(w *os.File) { experiments.RunFig7(w, opt) },
+		func(w *os.File) { experiments.RunFig8(w, opt) },
+		func(w *os.File) { experiments.RunFig9(w, opt) },
+		func(w *os.File) { experiments.RunFig10(w, opt) },
+		func(w *os.File) { experiments.RunFig11(w, opt, nil, nil) },
+	}
 }

@@ -4,8 +4,10 @@ import (
 	"io"
 
 	"ditto/internal/app"
+	"ditto/internal/core"
 	"ditto/internal/interfere"
 	"ditto/internal/platform"
+	"ditto/internal/runner"
 	"ditto/internal/synth"
 )
 
@@ -38,17 +40,13 @@ type fig10Scenario struct {
 // RunFig10 reproduces Fig. 10: NGINX under hyperthread, L1d, L2, LLC and
 // network-bandwidth interference, original vs its clone. The clone is
 // produced from an interference-free profile — the paper's point is that it
-// inherits interference sensitivity without being profiled under it.
+// inherits interference sensitivity without being profiled under it. One
+// prep cell clones NGINX; each scenario × variant is an independent cell.
 func RunFig10(w io.Writer, opt Options) Fig10Result {
 	if opt.Windows.Measure == 0 {
 		opt.Windows = DefaultWindows()
 	}
-	header(w, opt, "fig10: scenario variant ipc p99 l1i l1d l2 llc")
-
 	c := appCases(opt.Seed)[1] // nginx
-	capacity := probeCapacity(c, opt.Windows, opt.Seed)
-	load := Load{QPS: 0.5 * capacity, Conns: 16, Seed: opt.Seed}
-	_, spec := Clone(c.build, load, opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+71)
 
 	scenarios := []fig10Scenario{
 		{name: "orig"},
@@ -61,37 +59,60 @@ func RunFig10(w io.Writer, opt Options) Fig10Result {
 		{name: "Net", net: true},
 	}
 
-	var res Fig10Result
-	run := func(sc fig10Scenario, variant string, build func(m *platform.Machine) app.App) {
-		opts := append([]platform.Option{platform.WithCoreCount(6)}, sc.opts...)
-		env := NewEnv(platform.A(), opts...)
-		a := build(env.Server)
-		a.Start()
-		if sc.llc {
-			interfere.StartLLCStressor(env.Server, 4, platform.A().LLCKB<<10)
-		}
-		if sc.net {
-			interfere.StartNetStressor(env.Server, env.Client, 5201, 1<<20)
-		}
-		r := Measure(env, a, load, opt.Windows)
-		env.Shutdown()
-		fr := Fig10Row{Scenario: sc.name, Variant: variant,
-			IPC: r.Metrics.IPC, P99Ms: r.P99Ms,
-			L1iMiss: r.Metrics.L1iMiss, L1dMiss: r.Metrics.L1dMiss,
-			L2Miss: r.Metrics.L2Miss, LLCMiss: r.Metrics.L3Miss}
-		res.Rows = append(res.Rows, fr)
-		if !opt.Quiet {
-			row(w, "fig10: %-5s %-9s ipc=%.3f p99=%.3f l1i=%.4f l1d=%.4f l2=%.4f llc=%.4f",
-				fr.Scenario, fr.Variant, fr.IPC, fr.P99Ms, fr.L1iMiss, fr.L1dMiss,
-				fr.L2Miss, fr.LLCMiss)
-		}
-	}
+	p := runner.NewPlan()
+	var (
+		load Load
+		spec *core.SynthSpec
+	)
+	p.AddPrep(runner.Key("fig10", "clone"), func(io.Writer) (any, error) {
+		capacity := probeCapacity(c, opt.Windows, opt.Seed)
+		load = Load{QPS: 0.5 * capacity, Conns: 16, Seed: opt.Seed}
+		_, spec = Clone(c.build, load, opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+71)
+		return nil, nil
+	})
+	p.Barrier()
 
-	for _, sc := range scenarios {
-		run(sc, "actual", c.build)
-		run(sc, "synthetic", func(m *platform.Machine) app.App {
-			return synth.NewServer(m, c.port, spec, opt.Seed+73)
+	runner.Grid2(p, scenarios, fig5Variants,
+		func(sc fig10Scenario, v string) string { return runner.Key("fig10", sc.name, v) },
+		func(sc fig10Scenario, v string, cw io.Writer) (any, error) {
+			opts := append([]platform.Option{platform.WithCoreCount(6)}, sc.opts...)
+			env := NewEnv(platform.A(), opts...)
+			var a app.App
+			if v == "actual" {
+				a = c.build(env.Server)
+			} else {
+				a = synth.NewServer(env.Server, c.port, spec, opt.Seed+73)
+			}
+			a.Start()
+			if sc.llc {
+				interfere.StartLLCStressor(env.Server, 4, platform.A().LLCKB<<10)
+			}
+			if sc.net {
+				interfere.StartNetStressor(env.Server, env.Client, 5201, 1<<20)
+			}
+			r := Measure(env, a, load, opt.Windows)
+			env.Shutdown()
+			fr := Fig10Row{Scenario: sc.name, Variant: v,
+				IPC: r.Metrics.IPC, P99Ms: r.P99Ms,
+				L1iMiss: r.Metrics.L1iMiss, L1dMiss: r.Metrics.L1dMiss,
+				L2Miss: r.Metrics.L2Miss, LLCMiss: r.Metrics.L3Miss}
+			if !opt.Quiet {
+				row(cw, "fig10: %-5s %-9s ipc=%.3f p99=%.3f l1i=%.4f l1d=%.4f l2=%.4f llc=%.4f",
+					fr.Scenario, fr.Variant, fr.IPC, fr.P99Ms, fr.L1iMiss, fr.L1dMiss,
+					fr.L2Miss, fr.LLCMiss)
+			}
+			return fr, nil
 		})
+
+	var res Fig10Result
+	results := runPlan(w, p, opt, "fig10: scenario variant ipc p99 l1i l1d l2 llc")
+	if results == nil {
+		return res
+	}
+	for _, r := range results {
+		if fr, ok := r.Value.(Fig10Row); ok {
+			res.Rows = append(res.Rows, fr)
+		}
 	}
 	return res
 }

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
 
 	"ditto/internal/app"
+	"ditto/internal/core"
 	"ditto/internal/platform"
+	"ditto/internal/runner"
 	"ditto/internal/synth"
 )
 
@@ -27,7 +30,9 @@ type Fig11Result struct {
 
 // RunFig11 reproduces Fig. 11: p99 latency of Memcached (deployed with a
 // 16-worker pool so core scaling matters) across core counts and CPU
-// frequencies, with a 1ms QoS, actual vs synthetic.
+// frequencies, with a 1ms QoS, actual vs synthetic. The heatmap is the
+// repository's widest plan — every (cores, freq, variant) point is an
+// independent cell, so it scales across all available host cores.
 func RunFig11(w io.Writer, opt Options, cores []int, freqs []float64) Fig11Result {
 	if opt.Windows.Measure == 0 {
 		opt.Windows = DefaultWindows()
@@ -43,44 +48,60 @@ func RunFig11(w io.Writer, opt Options, cores []int, freqs []float64) Fig11Resul
 	build := func(m *platform.Machine) app.App {
 		return app.NewMemcachedN(m, 11211, 16, opt.Seed+81)
 	}
-	// Capacity at the best configuration sets the fixed offered load.
-	envP := NewEnv(platform.A(), platform.WithCoreCount(16), platform.WithFreqGHz(2.1))
-	a := build(envP.Server)
-	a.Start()
-	capRes := Measure(envP, a, Load{Conns: 32, Seed: opt.Seed}, opt.Windows)
-	envP.Shutdown()
-	qps := capRes.Throughput * 0.45
 
-	load := Load{QPS: qps, Conns: 16, Seed: opt.Seed}
-	_, spec := Clone(build, load, opt.Windows, 128<<20, opt.TuneIters, opt.Seed+83)
+	p := runner.NewPlan()
+	var (
+		qps  float64
+		spec *core.SynthSpec
+	)
+	p.AddPrep(runner.Key("fig11", "clone"), func(io.Writer) (any, error) {
+		// Capacity at the best configuration sets the fixed offered load.
+		capRes := measureApp(platform.A(),
+			[]platform.Option{platform.WithCoreCount(16), platform.WithFreqGHz(2.1)},
+			build, Load{Conns: 32, Seed: opt.Seed}, opt.Windows)
+		qps = capRes.Throughput * 0.45
+		_, spec = Clone(build, Load{QPS: qps, Conns: 16, Seed: opt.Seed},
+			opt.Windows, 128<<20, opt.TuneIters, opt.Seed+83)
+		return nil, nil
+	})
+	p.Barrier()
 
-	header(w, opt, "fig11: cores freq variant p99 meetsQoS (QoS=1ms)")
-	res := Fig11Result{QoSMs: qosMs, QPS: qps}
-	for _, nc := range cores {
-		for _, f := range freqs {
-			for _, variant := range []string{"actual", "synthetic"} {
-				env := NewEnv(platform.A(), platform.WithCoreCount(nc), platform.WithFreqGHz(f))
-				var srv app.App
-				if variant == "actual" {
-					srv = build(env.Server)
-				} else {
-					srv = synth.NewServer(env.Server, 11211, spec, opt.Seed+85)
-				}
-				srv.Start()
-				r := Measure(env, srv, load, opt.Windows)
-				env.Shutdown()
-				cell := Fig11Cell{Cores: nc, FreqGHz: f, Variant: variant,
-					P99Ms: r.P99Ms, MeetQoS: r.P99Ms <= qosMs && r.P99Ms > 0}
-				res.Cells = append(res.Cells, cell)
-				if !opt.Quiet {
-					mark := "ok"
-					if !cell.MeetQoS {
-						mark = "X"
-					}
-					row(w, "fig11: cores=%-2d freq=%.1f %-9s p99=%.3f %s",
-						cell.Cores, cell.FreqGHz, cell.Variant, cell.P99Ms, mark)
+	runner.Grid3(p, cores, freqs, fig5Variants,
+		func(nc int, f float64, v string) string {
+			return runner.Key("fig11", fmt.Sprintf("c%d", nc), fmt.Sprintf("f%.1f", f), v)
+		},
+		func(nc int, f float64, v string, cw io.Writer) (any, error) {
+			b := build
+			if v == "synthetic" {
+				b = func(m *platform.Machine) app.App {
+					return synth.NewServer(m, 11211, spec, opt.Seed+85)
 				}
 			}
+			r := measureApp(platform.A(),
+				[]platform.Option{platform.WithCoreCount(nc), platform.WithFreqGHz(f)},
+				b, Load{QPS: qps, Conns: 16, Seed: opt.Seed}, opt.Windows)
+			cell := Fig11Cell{Cores: nc, FreqGHz: f, Variant: v,
+				P99Ms: r.P99Ms, MeetQoS: r.P99Ms <= qosMs && r.P99Ms > 0}
+			if !opt.Quiet {
+				mark := "ok"
+				if !cell.MeetQoS {
+					mark = "X"
+				}
+				row(cw, "fig11: cores=%-2d freq=%.1f %-9s p99=%.3f %s",
+					cell.Cores, cell.FreqGHz, cell.Variant, cell.P99Ms, mark)
+			}
+			return cell, nil
+		})
+
+	res := Fig11Result{QoSMs: qosMs}
+	results := runPlan(w, p, opt, "fig11: cores freq variant p99 meetsQoS (QoS=1ms)")
+	if results == nil {
+		return res
+	}
+	res.QPS = qps
+	for _, r := range results {
+		if cell, ok := r.Value.(Fig11Cell); ok {
+			res.Cells = append(res.Cells, cell)
 		}
 	}
 	return res

@@ -3,12 +3,15 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"regexp"
 
 	"ditto/internal/sim"
 
 	"ditto/internal/app"
+	"ditto/internal/core"
 	"ditto/internal/platform"
 	"ditto/internal/profile"
+	"ditto/internal/runner"
 	"ditto/internal/stats"
 	"ditto/internal/synth"
 )
@@ -49,6 +52,16 @@ type Options struct {
 	// SocialNodes is the machine count for the social network (default 2).
 	SocialNodes int
 	Quiet       bool
+	// Parallel bounds the cell worker pool (0 = GOMAXPROCS). Results and
+	// output are identical at every width; parallelism only buys wall
+	// clock.
+	Parallel int
+	// CellFilter restricts which plan cells run (nil = all). Prep cells a
+	// surviving cell depends on are retained automatically.
+	CellFilter *regexp.Regexp
+	// Progress, when set, observes cell completions (e.g. for a stderr
+	// ticker). It must not write to the figure writer.
+	Progress func(done, total int, r runner.CellResult)
 }
 
 // DefaultOptions returns bench-grade settings.
@@ -99,27 +112,24 @@ func probeCapacity(c appCase, win Windows, seed int64) float64 {
 	return res.Throughput
 }
 
+// LoadLevel names one point of an app's low/medium/high load sweep.
+type LoadLevel struct {
+	Name string
+	Load Load
+}
+
 // loadLevels builds the low/medium/high loads for one app: fractions of
 // probed capacity for open-loop clients, connection counts for closed-loop
 // ones.
-func loadLevels(c appCase, capacity float64, seed int64) []struct {
-	Name string
-	Load Load
-} {
+func loadLevels(c appCase, capacity float64, seed int64) []LoadLevel {
 	if c.open {
-		return []struct {
-			Name string
-			Load Load
-		}{
+		return []LoadLevel{
 			{"low", Load{QPS: 0.25 * capacity, Conns: 16, Seed: seed}},
 			{"medium", Load{QPS: 0.5 * capacity, Conns: 16, Seed: seed}},
 			{"high", Load{QPS: 0.8 * capacity, Conns: 16, Seed: seed}},
 		}
 	}
-	return []struct {
-		Name string
-		Load Load
-	}{
+	return []LoadLevel{
 		{"low", Load{Conns: 2, Seed: seed}},
 		{"medium", Load{Conns: 8, Seed: seed}},
 		{"high", Load{Conns: 24, Seed: seed}},
@@ -127,22 +137,127 @@ func loadLevels(c appCase, capacity float64, seed int64) []struct {
 }
 
 // mediumOf returns the medium (profiling) load.
-func mediumOf(levels []struct {
-	Name string
-	Load Load
-}) Load {
+func mediumOf(levels []LoadLevel) Load {
 	return levels[1].Load
 }
+
+// fig5LevelNames is the canonical sweep order; cell names are static so
+// plans can be built (and filtered) before any measurement runs.
+var fig5LevelNames = []string{"low", "medium", "high"}
+
+// fig5Variants orders the original/clone pair everywhere.
+var fig5Variants = []string{"actual", "synthetic"}
+
+// fig5SocialLoads is the Social Network sweep of Fig. 5.
+func fig5SocialLoads(opt Options) []LoadLevel {
+	return []LoadLevel{
+		{"low", Load{QPS: 150, Conns: 12, Mix: SNMix(), Seed: opt.Seed}},
+		{"medium", Load{QPS: 400, Conns: 12, Mix: SNMix(), Seed: opt.Seed}},
+		{"high", Load{QPS: 800, Conns: 12, Mix: SNMix(), Seed: opt.Seed}},
+	}
+}
+
+// fig5SocialTiers is the pair of microservices the paper highlights.
+var fig5SocialTiers = []string{"text-service", "social-graph-service"}
 
 // RunFig5 reproduces Fig. 5: CPU performance metrics, network and disk
 // bandwidth, and latency under varying load across the six services, for
 // the original and its Ditto clone. Every app is profiled only at medium
-// load, exactly as in the paper.
+// load, exactly as in the paper. The measurement grid executes as a cell
+// plan: one prep cell per app (capacity probe + full cloning pipeline),
+// then one cell per app × load × variant after the barrier.
 func RunFig5(w io.Writer, opt Options) Fig5Result {
 	if opt.Windows.Measure == 0 {
 		opt.Windows = DefaultWindows()
 	}
 	res := Fig5Result{AvgErrors: map[string]float64{}}
+	apps := filteredAppCases(opt)
+	nodes := snNodes(opt)
+	snLoads := fig5SocialLoads(opt)
+	snWin := socialWindows(opt.Windows)
+
+	p := runner.NewPlan()
+	preps := map[string]*struct {
+		clonePrep
+		spec *core.SynthSpec
+	}{}
+	for _, c := range apps {
+		c := c
+		pr := &struct {
+			clonePrep
+			spec *core.SynthSpec
+		}{}
+		preps[c.name] = pr
+		p.AddPrep(runner.Key("fig5", c.name, "clone"), func(io.Writer) (any, error) {
+			pr.clonePrep = prepLevels(c, opt)
+			_, pr.spec = Clone(c.build, mediumOf(pr.levels), opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+17)
+			return nil, nil
+		})
+	}
+	var snClone *SNClone
+	if opt.IncludeSocial {
+		p.AddPrep(runner.Key("fig5", "social", "clone"), func(io.Writer) (any, error) {
+			snClone = CloneSN(platform.A(), nodes, 8, snLoads[1].Load, snWin, opt.Seed+5)
+			return nil, nil
+		})
+	}
+	p.Barrier()
+
+	for _, c := range apps {
+		c := c
+		pr := preps[c.name]
+		for li, ln := range fig5LevelNames {
+			li, ln := li, ln
+			for _, v := range fig5Variants {
+				v := v
+				p.Add(runner.Key("fig5", c.name, ln, v), func(cw io.Writer) (any, error) {
+					build := c.build
+					if v == "synthetic" {
+						build = func(m *platform.Machine) app.App {
+							return synth.NewServer(m, c.port, pr.spec, opt.Seed+31)
+						}
+					}
+					r := measureApp(platform.A(), []platform.Option{platform.WithCoreCount(8)},
+						build, pr.levels[li].Load, opt.Windows)
+					fr := fig5Row(c.name, ln, v, r)
+					emitFig5(cw, opt, []Fig5Row{fr})
+					return fr, nil
+				})
+			}
+		}
+	}
+	if opt.IncludeSocial {
+		for _, lv := range snLoads {
+			lv := lv
+			for _, v := range fig5Variants {
+				v := v
+				p.Add(runner.Key("fig5", "social", lv.Name, v), func(cw io.Writer) (any, error) {
+					var d *SNEnv
+					if v == "actual" {
+						d = NewOriginalSN(platform.A(), nodes, 8, opt.Seed+5)
+					} else {
+						d = NewSynthSN(snClone, platform.A(), nodes, 8, opt.Seed+6)
+					}
+					_, per := MeasureSN(d, lv.Load, snWin, fig5SocialTiers)
+					d.Env.Shutdown()
+					rows := make([]Fig5Row, 0, len(fig5SocialTiers))
+					for _, tn := range fig5SocialTiers {
+						rows = append(rows, fig5Row(tn, lv.Name, v, per[tn]))
+					}
+					emitFig5(cw, opt, rows)
+					return rows, nil
+				})
+			}
+		}
+	}
+
+	results := runPlan(w, p, opt,
+		"fig5: app load variant ipc branchmiss l1i l1d l2 llc netBW diskBW avg p95 p99 tput")
+	if results == nil {
+		return res
+	}
+	values := resultMap(results)
+
 	errAgg := map[string]*stats.Recorder{}
 	addErr := func(metric string, got, want float64) {
 		r := errAgg[metric]
@@ -152,48 +267,39 @@ func RunFig5(w io.Writer, opt Options) Fig5Result {
 		}
 		r.Add(stats.AbsPctErr(got, want))
 	}
-
-	header(w, opt, "fig5: app load variant ipc branchmiss l1i l1d l2 llc netBW diskBW avg p95 p99 tput")
-
-	apps := appCases(opt.Seed)
-	for _, c := range apps {
-		if len(opt.Apps) > 0 && !contains(opt.Apps, c.name) {
-			continue
+	collect := func(nameO, nameS string) {
+		ro, okO := values[nameO].(Fig5Row)
+		rs, okS := values[nameS].(Fig5Row)
+		if okO {
+			res.Rows = append(res.Rows, ro)
 		}
-		capacity := 0.0
-		if c.open {
-			capacity = probeCapacity(c, opt.Windows, opt.Seed)
+		if okS {
+			res.Rows = append(res.Rows, rs)
 		}
-		levels := loadLevels(c, capacity, opt.Seed)
-		med := mediumOf(levels)
-
-		// The complete Ditto pipeline, profiled at medium load only.
-		_, spec := Clone(c.build, med, opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+17)
-
-		for _, lv := range levels {
-			envO := NewEnv(platform.A(), platform.WithCoreCount(8))
-			orig := c.build(envO.Server)
-			orig.Start()
-			ro := Measure(envO, orig, lv.Load, opt.Windows)
-			envO.Shutdown()
-
-			envS := NewEnv(platform.A(), platform.WithCoreCount(8))
-			sv := synth.NewServer(envS.Server, c.port, spec, opt.Seed+31)
-			sv.Start()
-			rs := Measure(envS, sv, lv.Load, opt.Windows)
-			envS.Shutdown()
-
-			res.Rows = append(res.Rows,
-				fig5Row(c.name, lv.Name, "actual", ro),
-				fig5Row(c.name, lv.Name, "synthetic", rs))
-			emitFig5(w, opt, res.Rows[len(res.Rows)-2:])
+		if okO && okS {
 			accumulateErrors(addErr, ro, rs)
 		}
 	}
-
+	for _, c := range apps {
+		for _, ln := range fig5LevelNames {
+			collect(runner.Key("fig5", c.name, ln, "actual"), runner.Key("fig5", c.name, ln, "synthetic"))
+		}
+	}
 	if opt.IncludeSocial {
-		for _, r := range socialTierRows(w, opt, addErr) {
-			res.Rows = append(res.Rows, r)
+		for _, lv := range snLoads {
+			rowsO, okO := values[runner.Key("fig5", "social", lv.Name, "actual")].([]Fig5Row)
+			rowsS, okS := values[runner.Key("fig5", "social", lv.Name, "synthetic")].([]Fig5Row)
+			for ti := range fig5SocialTiers {
+				if okO {
+					res.Rows = append(res.Rows, rowsO[ti])
+				}
+				if okS {
+					res.Rows = append(res.Rows, rowsS[ti])
+				}
+				if okO && okS {
+					accumulateErrors(addErr, rowsO[ti], rowsS[ti])
+				}
+			}
 		}
 	}
 
@@ -206,54 +312,13 @@ func RunFig5(w io.Writer, opt Options) Fig5Result {
 	return res
 }
 
-// socialTierRows measures TextService and SocialGraphService, actual vs
-// synthetic, inside full social-network deployments at three loads.
-func socialTierRows(w io.Writer, opt Options, addErr func(string, float64, float64)) []Fig5Row {
-	nodes := opt.SocialNodes
-	if nodes <= 0 {
-		nodes = 2
-	}
-	tiers := []string{"text-service", "social-graph-service"}
-	loads := []struct {
-		Name string
-		Load Load
-	}{
-		{"low", Load{QPS: 150, Conns: 12, Mix: SNMix(), Seed: opt.Seed}},
-		{"medium", Load{QPS: 400, Conns: 12, Mix: SNMix(), Seed: opt.Seed}},
-		{"high", Load{QPS: 800, Conns: 12, Mix: SNMix(), Seed: opt.Seed}},
-	}
-	snWin := socialWindows(opt.Windows)
-	clone := CloneSN(platform.A(), nodes, 8, loads[1].Load, snWin, opt.Seed+5)
-
-	var rows []Fig5Row
-	for _, lv := range loads {
-		dO := NewOriginalSN(platform.A(), nodes, 8, opt.Seed+5)
-		_, perO := MeasureSN(dO, lv.Load, snWin, tiers)
-		dO.Env.Shutdown()
-
-		dS := NewSynthSN(clone, platform.A(), nodes, 8, opt.Seed+6)
-		_, perS := MeasureSN(dS, lv.Load, snWin, tiers)
-		dS.Env.Shutdown()
-
-		for _, tn := range tiers {
-			ro, rs := perO[tn], perS[tn]
-			rows = append(rows,
-				fig5Row(tn, lv.Name, "actual", ro),
-				fig5Row(tn, lv.Name, "synthetic", rs))
-			emitFig5(w, opt, rows[len(rows)-2:])
-			accumulateErrors(addErr, ro, rs)
-		}
-	}
-	return rows
-}
-
 func fig5Row(name, load, variant string, r Result) Fig5Row {
 	return Fig5Row{App: name, Load: load, Variant: variant, Metrics: r.Metrics,
 		NetBW: r.NetBW, DiskBW: r.DiskBW, AvgMs: r.AvgMs, P95Ms: r.P95Ms,
 		P99Ms: r.P99Ms, Tput: r.Throughput, TopDown: r.TopDown}
 }
 
-func accumulateErrors(addErr func(string, float64, float64), ro, rs Result) {
+func accumulateErrors(addErr func(string, float64, float64), ro, rs Fig5Row) {
 	addErr("ipc", rs.Metrics.IPC, ro.Metrics.IPC)
 	addErr("branch", rs.Metrics.BranchMiss, ro.Metrics.BranchMiss)
 	addErr("l1i", rs.Metrics.L1iMiss, ro.Metrics.L1iMiss)
@@ -261,10 +326,10 @@ func accumulateErrors(addErr func(string, float64, float64), ro, rs Result) {
 	addErr("l2", rs.Metrics.L2Miss, ro.Metrics.L2Miss)
 	addErr("llc", rs.Metrics.L3Miss, ro.Metrics.L3Miss)
 	if ro.NetBW > 0 {
-		addErr("netbw", rs.NetBW/maxF(rs.Throughput, 1), ro.NetBW/maxF(ro.Throughput, 1))
+		addErr("netbw", rs.NetBW/maxF(rs.Tput, 1), ro.NetBW/maxF(ro.Tput, 1))
 	}
 	if ro.DiskBW > 0 {
-		addErr("diskbw", rs.DiskBW/maxF(rs.Throughput, 1), ro.DiskBW/maxF(ro.Throughput, 1))
+		addErr("diskbw", rs.DiskBW/maxF(rs.Tput, 1), ro.DiskBW/maxF(ro.Tput, 1))
 	}
 }
 

@@ -3,8 +3,11 @@ package experiments
 import (
 	"io"
 
+	"ditto/internal/app"
+	"ditto/internal/core"
 	"ditto/internal/platform"
 	"ditto/internal/profile"
+	"ditto/internal/runner"
 	"ditto/internal/synth"
 )
 
@@ -37,77 +40,75 @@ func fig7CoreCount(spec platform.Spec) int {
 
 // RunFig7 reproduces Fig. 7: each app is cloned from a Platform A profile,
 // then original and synthetic run side by side on Platforms A, B and C
-// without reprofiling.
+// without reprofiling. Prep cells clone per app; each (platform, variant)
+// pair is an independent measurement cell.
 func RunFig7(w io.Writer, opt Options) Fig7Result {
 	if opt.Windows.Measure == 0 {
 		opt.Windows = DefaultWindows()
 	}
-	header(w, opt, "fig7: app platform variant ipc branchmiss l1i l1d l2 llc netBW diskBW avg p99")
 	platforms := []platform.Spec{platform.A(), platform.B(), platform.C()}
+	apps := filteredAppCases(opt)
 
-	var res Fig7Result
-	for _, c := range appCases(opt.Seed) {
-		if len(opt.Apps) > 0 && !contains(opt.Apps, c.name) {
-			continue
-		}
-		capacity := 0.0
-		if c.open {
-			capacity = probeCapacity(c, opt.Windows, opt.Seed)
-		}
-		med := mediumOf(loadLevels(c, capacity, opt.Seed))
-		_, spec := Clone(c.build, med, opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+23)
-
-		for _, plat := range platforms {
-			cores := fig7CoreCount(plat)
-			load := med
-			if c.open {
-				// Keep offered load sustainable on the weakest platform.
-				load.QPS = capacity * 0.3
-			}
-
-			envO := NewEnv(plat, platform.WithCoreCount(cores))
-			orig := c.build(envO.Server)
-			orig.Start()
-			ro := Measure(envO, orig, load, opt.Windows)
-			envO.Shutdown()
-
-			envS := NewEnv(plat, platform.WithCoreCount(cores))
-			sv := synth.NewServer(envS.Server, c.port, spec, opt.Seed+29)
-			sv.Start()
-			rs := Measure(envS, sv, load, opt.Windows)
-			envS.Shutdown()
-
-			for _, pair := range []struct {
-				variant string
-				r       Result
-			}{{"actual", ro}, {"synthetic", rs}} {
-				fr := Fig7Row{App: c.name, Platform: plat.Name, Variant: pair.variant,
-					Metrics: pair.r.Metrics, NetBW: pair.r.NetBW, DiskBW: pair.r.DiskBW,
-					AvgMs: pair.r.AvgMs, P99Ms: pair.r.P99Ms}
-				res.Rows = append(res.Rows, fr)
-				emitFig7(w, opt, fr)
-			}
-		}
+	type fig7Prep struct {
+		clonePrep
+		spec *core.SynthSpec
 	}
-	if opt.IncludeSocial {
-		res.Rows = append(res.Rows, fig7SocialRows(w, opt)...)
+	p := runner.NewPlan()
+	preps := map[string]*fig7Prep{}
+	for _, c := range apps {
+		c := c
+		pr := &fig7Prep{}
+		preps[c.name] = pr
+		p.AddPrep(runner.Key("fig7", c.name, "clone"), func(io.Writer) (any, error) {
+			pr.clonePrep = prepLevels(c, opt)
+			_, pr.spec = Clone(c.build, mediumOf(pr.levels), opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+23)
+			return nil, nil
+		})
 	}
-	return res
-}
-
-// fig7SocialRows runs the TextService / SocialGraphService columns: cloned
-// on Platform A (two nodes), then both deployments re-run on the
-// small-scale Platform C where every tier is colocated on one four-core
-// box — the configuration the paper highlights for its high LLC
-// interference.
-func fig7SocialRows(w io.Writer, opt Options) []Fig7Row {
-	tiers := []string{"text-service", "social-graph-service"}
-	load := Load{QPS: 300, Conns: 12, Mix: SNMix(), Seed: opt.Seed}
+	var snClone *SNClone
+	snLoad := Load{QPS: 300, Conns: 12, Mix: SNMix(), Seed: opt.Seed}
 	snWin := socialWindows(opt.Windows)
-	clone := CloneSN(platform.A(), 2, 8, load, snWin, opt.Seed+53)
+	if opt.IncludeSocial {
+		p.AddPrep(runner.Key("fig7", "social", "clone"), func(io.Writer) (any, error) {
+			snClone = CloneSN(platform.A(), 2, 8, snLoad, snWin, opt.Seed+53)
+			return nil, nil
+		})
+	}
+	p.Barrier()
 
-	var rows []Fig7Row
-	deploy := []struct {
+	for _, c := range apps {
+		c := c
+		pr := preps[c.name]
+		runner.Grid2(p, platforms, fig5Variants,
+			func(plat platform.Spec, v string) string {
+				return runner.Key("fig7", c.name, plat.Name, v)
+			},
+			func(plat platform.Spec, v string, cw io.Writer) (any, error) {
+				load := mediumOf(pr.levels)
+				if c.open {
+					// Keep offered load sustainable on the weakest platform.
+					load.QPS = pr.capacity * 0.3
+				}
+				build := c.build
+				if v == "synthetic" {
+					build = func(m *platform.Machine) app.App {
+						return synth.NewServer(m, c.port, pr.spec, opt.Seed+29)
+					}
+				}
+				r := measureApp(plat, []platform.Option{platform.WithCoreCount(fig7CoreCount(plat))},
+					build, load, opt.Windows)
+				fr := Fig7Row{App: c.name, Platform: plat.Name, Variant: v,
+					Metrics: r.Metrics, NetBW: r.NetBW, DiskBW: r.DiskBW,
+					AvgMs: r.AvgMs, P99Ms: r.P99Ms}
+				emitFig7(cw, opt, fr)
+				return fr, nil
+			})
+	}
+
+	// The two Social Network deployments the paper highlights: the two-node
+	// Platform A reference and the small-scale Platform C where every tier
+	// is colocated on one four-core box (high LLC interference).
+	snDeploys := []struct {
 		spec  platform.Spec
 		nodes int
 		cores int
@@ -115,26 +116,49 @@ func fig7SocialRows(w io.Writer, opt Options) []Fig7Row {
 		{platform.A(), 2, 8},
 		{platform.C(), 1, 4},
 	}
-	for _, d := range deploy {
-		dO := NewOriginalSN(d.spec, d.nodes, d.cores, opt.Seed+53)
-		_, perO := MeasureSN(dO, load, snWin, tiers)
-		dO.Env.Shutdown()
-		dS := NewSynthSN(clone, d.spec, d.nodes, d.cores, opt.Seed+54)
-		_, perS := MeasureSN(dS, load, snWin, tiers)
-		dS.Env.Shutdown()
-		for _, tn := range tiers {
-			for _, pair := range []struct {
-				variant string
-				r       Result
-			}{{"actual", perO[tn]}, {"synthetic", perS[tn]}} {
-				fr := Fig7Row{App: tn, Platform: d.spec.Name, Variant: pair.variant,
-					Metrics: pair.r.Metrics, NetBW: pair.r.NetBW, DiskBW: pair.r.DiskBW}
-				rows = append(rows, fr)
-				emitFig7(w, opt, fr)
+	if opt.IncludeSocial {
+		for _, d := range snDeploys {
+			d := d
+			for _, v := range fig5Variants {
+				v := v
+				p.Add(runner.Key("fig7", "social", d.spec.Name, v), func(cw io.Writer) (any, error) {
+					var dep *SNEnv
+					if v == "actual" {
+						dep = NewOriginalSN(d.spec, d.nodes, d.cores, opt.Seed+53)
+					} else {
+						dep = NewSynthSN(snClone, d.spec, d.nodes, d.cores, opt.Seed+54)
+					}
+					_, per := MeasureSN(dep, snLoad, snWin, fig5SocialTiers)
+					dep.Env.Shutdown()
+					rows := make([]Fig7Row, 0, len(fig5SocialTiers))
+					for _, tn := range fig5SocialTiers {
+						r := per[tn]
+						fr := Fig7Row{App: tn, Platform: d.spec.Name, Variant: v,
+							Metrics: r.Metrics, NetBW: r.NetBW, DiskBW: r.DiskBW}
+						rows = append(rows, fr)
+						emitFig7(cw, opt, fr)
+					}
+					return rows, nil
+				})
 			}
 		}
 	}
-	return rows
+
+	var res Fig7Result
+	results := runPlan(w, p, opt,
+		"fig7: app platform variant ipc branchmiss l1i l1d l2 llc netBW diskBW avg p99")
+	if results == nil {
+		return res
+	}
+	for _, r := range results {
+		switch v := r.Value.(type) {
+		case Fig7Row:
+			res.Rows = append(res.Rows, v)
+		case []Fig7Row:
+			res.Rows = append(res.Rows, v...)
+		}
+	}
+	return res
 }
 
 func emitFig7(w io.Writer, opt Options, fr Fig7Row) {

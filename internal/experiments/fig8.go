@@ -3,7 +3,10 @@ package experiments
 import (
 	"io"
 
+	"ditto/internal/app"
+	"ditto/internal/core"
 	"ditto/internal/platform"
+	"ditto/internal/runner"
 	"ditto/internal/synth"
 )
 
@@ -34,66 +37,116 @@ func fig8Row(name, variant string, r Result) Fig8Row {
 
 // RunFig8 reproduces Fig. 8: the cycles-per-instruction top-down analysis
 // of original vs synthetic at medium load for the four standalone apps plus
-// the two highlighted Social Network tiers.
+// the two highlighted Social Network tiers, as a cell plan (per-app clone
+// prep, then one cell per app × variant).
 func RunFig8(w io.Writer, opt Options) Fig8Result {
 	if opt.Windows.Measure == 0 {
 		opt.Windows = DefaultWindows()
 	}
-	header(w, opt, "fig8: app variant cpi retiring frontend badspec backend")
-	var res Fig8Result
-	emit := func(fr Fig8Row) {
-		res.Rows = append(res.Rows, fr)
+	apps := filteredAppCases(opt)
+	nodes := snNodes(opt)
+	snLoad := Load{QPS: 400, Conns: 12, Mix: SNMix(), Seed: opt.Seed}
+	snWin := socialWindows(opt.Windows)
+
+	type fig8Prep struct {
+		clonePrep
+		spec *core.SynthSpec
+	}
+	p := runner.NewPlan()
+	preps := map[string]*fig8Prep{}
+	for _, c := range apps {
+		c := c
+		pr := &fig8Prep{}
+		preps[c.name] = pr
+		p.AddPrep(runner.Key("fig8", c.name, "clone"), func(io.Writer) (any, error) {
+			pr.clonePrep = prepLevels(c, opt)
+			_, pr.spec = Clone(c.build, mediumOf(pr.levels), opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+41)
+			return nil, nil
+		})
+	}
+	var snClone *SNClone
+	if opt.IncludeSocial {
+		p.AddPrep(runner.Key("fig8", "social", "clone"), func(io.Writer) (any, error) {
+			snClone = CloneSN(platform.A(), nodes, 8, snLoad, snWin, opt.Seed+47)
+			return nil, nil
+		})
+	}
+	p.Barrier()
+
+	emit := func(cw io.Writer, fr Fig8Row) {
 		if !opt.Quiet {
-			row(w, "fig8: %-20s %-9s cpi=%.3f ret=%.3f fe=%.3f bad=%.3f be=%.3f",
+			row(cw, "fig8: %-20s %-9s cpi=%.3f ret=%.3f fe=%.3f bad=%.3f be=%.3f",
 				fr.App, fr.Variant, fr.CPI, fr.Retiring, fr.Frontend, fr.BadSpec, fr.Backend)
 		}
 	}
-
-	for _, c := range appCases(opt.Seed) {
-		if len(opt.Apps) > 0 && !contains(opt.Apps, c.name) {
-			continue
+	for _, c := range apps {
+		c := c
+		pr := preps[c.name]
+		for _, v := range fig5Variants {
+			v := v
+			p.Add(runner.Key("fig8", c.name, v), func(cw io.Writer) (any, error) {
+				build := c.build
+				if v == "synthetic" {
+					build = func(m *platform.Machine) app.App {
+						return synth.NewServer(m, c.port, pr.spec, opt.Seed+43)
+					}
+				}
+				r := measureApp(platform.A(), []platform.Option{platform.WithCoreCount(8)},
+					build, mediumOf(pr.levels), opt.Windows)
+				fr := fig8Row(c.name, v, r)
+				emit(cw, fr)
+				return fr, nil
+			})
 		}
-		capacity := 0.0
-		if c.open {
-			capacity = probeCapacity(c, opt.Windows, opt.Seed)
+	}
+	if opt.IncludeSocial {
+		for _, v := range fig5Variants {
+			v := v
+			p.Add(runner.Key("fig8", "social", v), func(cw io.Writer) (any, error) {
+				var d *SNEnv
+				if v == "actual" {
+					d = NewOriginalSN(platform.A(), nodes, 8, opt.Seed+47)
+				} else {
+					d = NewSynthSN(snClone, platform.A(), nodes, 8, opt.Seed+48)
+				}
+				_, per := MeasureSN(d, snLoad, snWin, fig5SocialTiers)
+				d.Env.Shutdown()
+				rows := make([]Fig8Row, 0, len(fig5SocialTiers))
+				for _, tn := range fig5SocialTiers {
+					fr := fig8Row(tn, v, per[tn])
+					rows = append(rows, fr)
+					emit(cw, fr)
+				}
+				return rows, nil
+			})
 		}
-		med := mediumOf(loadLevels(c, capacity, opt.Seed))
-		_, spec := Clone(c.build, med, opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+41)
-
-		envO := NewEnv(platform.A(), platform.WithCoreCount(8))
-		orig := c.build(envO.Server)
-		orig.Start()
-		ro := Measure(envO, orig, med, opt.Windows)
-		envO.Shutdown()
-		emit(fig8Row(c.name, "actual", ro))
-
-		envS := NewEnv(platform.A(), platform.WithCoreCount(8))
-		sv := synth.NewServer(envS.Server, c.port, spec, opt.Seed+43)
-		sv.Start()
-		rs := Measure(envS, sv, med, opt.Windows)
-		envS.Shutdown()
-		emit(fig8Row(c.name, "synthetic", rs))
 	}
 
-	if opt.IncludeSocial {
-		nodes := opt.SocialNodes
-		if nodes <= 0 {
-			nodes = 2
+	var res Fig8Result
+	results := runPlan(w, p, opt, "fig8: app variant cpi retiring frontend badspec backend")
+	if results == nil {
+		return res
+	}
+	values := resultMap(results)
+	for _, c := range apps {
+		for _, v := range fig5Variants {
+			if fr, ok := values[runner.Key("fig8", c.name, v)].(Fig8Row); ok {
+				res.Rows = append(res.Rows, fr)
+			}
 		}
-		tiers := []string{"text-service", "social-graph-service"}
-		load := Load{QPS: 400, Conns: 12, Mix: SNMix(), Seed: opt.Seed}
-		snWin := socialWindows(opt.Windows)
-		clone := CloneSN(platform.A(), nodes, 8, load, snWin, opt.Seed+47)
-
-		dO := NewOriginalSN(platform.A(), nodes, 8, opt.Seed+47)
-		_, perO := MeasureSN(dO, load, snWin, tiers)
-		dO.Env.Shutdown()
-		dS := NewSynthSN(clone, platform.A(), nodes, 8, opt.Seed+48)
-		_, perS := MeasureSN(dS, load, snWin, tiers)
-		dS.Env.Shutdown()
-		for _, tn := range tiers {
-			emit(fig8Row(tn, "actual", perO[tn]))
-			emit(fig8Row(tn, "synthetic", perS[tn]))
+	}
+	if opt.IncludeSocial {
+		// The paper's ordering is tier-major: both variants of TextService,
+		// then both of SocialGraphService.
+		rowsO, okO := values[runner.Key("fig8", "social", "actual")].([]Fig8Row)
+		rowsS, okS := values[runner.Key("fig8", "social", "synthetic")].([]Fig8Row)
+		for ti := range fig5SocialTiers {
+			if okO {
+				res.Rows = append(res.Rows, rowsO[ti])
+			}
+			if okS {
+				res.Rows = append(res.Rows, rowsS[ti])
+			}
 		}
 	}
 	return res

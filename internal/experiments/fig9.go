@@ -3,8 +3,11 @@ package experiments
 import (
 	"io"
 
+	"ditto/internal/app"
 	"ditto/internal/core"
 	"ditto/internal/platform"
+	"ditto/internal/profile"
+	"ditto/internal/runner"
 	"ditto/internal/synth"
 )
 
@@ -27,51 +30,77 @@ type Fig9Result struct {
 
 // RunFig9 reproduces Fig. 9: the accuracy decomposition on MongoDB. Stages
 // A–H are generated with increasing sophistication; stage I adds fine
-// tuning.
+// tuning. The profiling run is the single prep cell; the target line and
+// every stage then measure as independent cells.
 func RunFig9(w io.Writer, opt Options) Fig9Result {
 	if opt.Windows.Measure == 0 {
 		opt.Windows = DefaultWindows()
 	}
 	c := appCases(opt.Seed)[2] // mongodb
 	load := Load{Conns: 8, Seed: opt.Seed}
-	prof := ProfileRun(c.build, load, opt.Windows, c.maxDWS)
 
-	header(w, opt, "fig9: stage ipc instrs cycles p99 (target from actual MongoDB)")
-
-	envT := NewEnv(platform.A(), platform.WithCoreCount(8))
-	orig := c.build(envT.Server)
-	orig.Start()
-	rt := Measure(envT, orig, load, opt.Windows)
-	envT.Shutdown()
-	res := Fig9Result{Target: fig9Of("target", rt, opt.Windows)}
-	if !opt.Quiet {
-		row(w, "fig9: %-11s ipc=%.3f instrs/req=%.0f cycles/req=%.0f p99=%.3f",
-			"target", res.Target.IPC, res.Target.Instrs, res.Target.Cycles, res.Target.P99Ms)
-	}
-
-	measure := func(spec *core.SynthSpec, name string) {
-		env := NewEnv(platform.A(), platform.WithCoreCount(8))
-		sv := synth.NewServer(env.Server, c.port, spec, opt.Seed+61)
-		sv.Start()
-		r := Measure(env, sv, load, opt.Windows)
-		env.Shutdown()
-		fr := fig9Of(name, r, opt.Windows)
-		res.Rows = append(res.Rows, fr)
+	emit := func(cw io.Writer, fr Fig9Row) {
 		if !opt.Quiet {
-			row(w, "fig9: %-11s ipc=%.3f instrs/req=%.0f cycles/req=%.0f p99=%.3f",
+			row(cw, "fig9: %-11s ipc=%.3f instrs/req=%.0f cycles/req=%.0f p99=%.3f",
 				fr.Stage, fr.IPC, fr.Instrs, fr.Cycles, fr.P99Ms)
 		}
 	}
+	var prof *profile.AppProfile
+	p := runner.NewPlan()
+	p.AddPrep(runner.Key("fig9", "profile"), func(io.Writer) (any, error) {
+		prof = ProfileRun(c.build, load, opt.Windows, c.maxDWS)
+		return nil, nil
+	})
+	p.Add(runner.Key("fig9", "target"), func(cw io.Writer) (any, error) {
+		r := measureApp(platform.A(), []platform.Option{platform.WithCoreCount(8)},
+			c.build, load, opt.Windows)
+		fr := fig9Of("target", r, opt.Windows)
+		emit(cw, fr)
+		return fr, nil
+	})
+	p.Barrier()
 
-	for st := core.StageSkeleton; st < core.StageTune; st++ {
-		measure(core.GenerateStaged(prof, st, opt.Seed+60), st.String())
+	var stages []core.Stage
+	for st := core.StageSkeleton; st <= core.StageTune; st++ {
+		stages = append(stages, st)
 	}
-	iters := opt.TuneIters
-	if iters <= 0 {
-		iters = 3
+	for _, st := range stages {
+		st := st
+		p.Add(runner.Key("fig9", "stage", st.String()), func(cw io.Writer) (any, error) {
+			var spec *core.SynthSpec
+			if st == core.StageTune {
+				iters := opt.TuneIters
+				if iters <= 0 {
+					iters = 3
+				}
+				spec, _ = core.FineTune(prof, opt.Seed+60, SynthRunner(load, opt.Windows), iters, 0.05)
+			} else {
+				spec = core.GenerateStaged(prof, st, opt.Seed+60)
+			}
+			r := measureApp(platform.A(), []platform.Option{platform.WithCoreCount(8)},
+				func(m *platform.Machine) app.App {
+					return synth.NewServer(m, c.port, spec, opt.Seed+61)
+				}, load, opt.Windows)
+			fr := fig9Of(st.String(), r, opt.Windows)
+			emit(cw, fr)
+			return fr, nil
+		})
 	}
-	tuned, _ := core.FineTune(prof, opt.Seed+60, SynthRunner(load, opt.Windows), iters, 0.05)
-	measure(tuned, core.StageTune.String())
+
+	var res Fig9Result
+	results := runPlan(w, p, opt, "fig9: stage ipc instrs cycles p99 (target from actual MongoDB)")
+	if results == nil {
+		return res
+	}
+	values := resultMap(results)
+	if fr, ok := values[runner.Key("fig9", "target")].(Fig9Row); ok {
+		res.Target = fr
+	}
+	for _, st := range stages {
+		if fr, ok := values[runner.Key("fig9", "stage", st.String())].(Fig9Row); ok {
+			res.Rows = append(res.Rows, fr)
+		}
+	}
 	return res
 }
 

@@ -149,6 +149,19 @@ func metricsOf(c cpu.Counters) profile.TargetMetrics {
 	}
 }
 
+// measureApp is the standard single-tier measurement cell body: build an
+// environment on spec, start the app build returns, measure it under load,
+// and tear the environment down. Every state it touches is freshly
+// constructed, which is what makes cells safe to run concurrently.
+func measureApp(spec platform.Spec, opts []platform.Option, build AppBuilder, load Load, win Windows) Result {
+	env := NewEnv(spec, opts...)
+	a := build(env.Server)
+	a.Start()
+	r := Measure(env, a, load, win)
+	env.Shutdown()
+	return r
+}
+
 // Measure drives app a (already started on env.Server) with the given load
 // and returns a Result measured over the post-warmup window.
 func Measure(env *Env, a app.App, load Load, win Windows) Result {

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ditto/internal/sim"
+)
+
+// TestFigureOutputIdenticalAcrossPoolWidths is the tentpole determinism
+// guarantee: a figure produces byte-identical output and identical results at
+// -parallel 1 and -parallel 8. Every cell owns its engine and all mutable
+// state, and the runner flushes buffered cell output in plan order, so pool
+// width must be unobservable.
+func TestFigureOutputIdenticalAcrossPoolWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline run; skipped in -short")
+	}
+	run := func(parallel int) ([]byte, Fig6Result) {
+		opt := Options{
+			Windows:   Windows{Warmup: 10 * sim.Millisecond, Measure: 50 * sim.Millisecond},
+			TuneIters: 0,
+			Seed:      3,
+			Parallel:  parallel,
+		}
+		var buf bytes.Buffer
+		res := RunFig6(&buf, opt, []float64{150, 400})
+		return buf.Bytes(), res
+	}
+	outSerial, resSerial := run(1)
+	outWide, resWide := run(8)
+	if len(resSerial.Points) == 0 {
+		t.Fatal("serial run produced no points")
+	}
+	if !bytes.Equal(outSerial, outWide) {
+		t.Fatalf("output differs between -parallel 1 and -parallel 8:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s",
+			outSerial, outWide)
+	}
+	if !reflect.DeepEqual(resSerial, resWide) {
+		t.Fatalf("results differ between pool widths:\n%+v\nvs\n%+v", resSerial, resWide)
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"io"
+
+	"ditto/internal/runner"
+)
+
+// This file is the glue between the figure runners and internal/runner.
+// Every figure builds a Plan: prep cells (capacity probes, profiling and
+// cloning pipelines) in the first stage, measurement cells after a barrier.
+// Cells only read Options values and prep results frozen by the barrier, and
+// every environment is built inside the cell that measures it, so cells are
+// independent and the figure's rows and byte output are identical at any
+// -parallel width.
+
+// runPlan applies the option's cell filter, executes the plan and reports
+// failed cells on w. It returns the per-cell results in plan order, or nil
+// when the filter left nothing to run (callers then skip the figure
+// entirely, header included).
+func runPlan(w io.Writer, p *runner.Plan, opt Options, head string) []runner.CellResult {
+	if opt.CellFilter != nil && p.Filter(opt.CellFilter) == 0 {
+		return nil
+	}
+	header(w, opt, head)
+	results := runner.Run(w, p, runner.Options{Parallel: opt.Parallel, Progress: opt.Progress})
+	for _, r := range results {
+		if r.Err != nil {
+			row(w, "# cell %s failed: %v", r.Name, r.Err)
+		}
+	}
+	return results
+}
+
+// resultMap indexes cell values by cell name. Skipped and failed cells are
+// absent, so collectors naturally drop their rows.
+func resultMap(results []runner.CellResult) map[string]any {
+	m := make(map[string]any, len(results))
+	for _, r := range results {
+		if !r.Skipped && r.Err == nil {
+			m[r.Name] = r.Value
+		}
+	}
+	return m
+}
+
+// filteredAppCases applies the Options.Apps filter to the standard four
+// single-tier applications.
+func filteredAppCases(opt Options) []appCase {
+	var out []appCase
+	for _, c := range appCases(opt.Seed) {
+		if len(opt.Apps) > 0 && !contains(opt.Apps, c.name) {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// snNodes resolves the social-network machine count.
+func snNodes(opt Options) int {
+	if opt.SocialNodes > 0 {
+		return opt.SocialNodes
+	}
+	return 2
+}
+
+// clonePrep is what a per-app prep cell produces: the probed capacity, the
+// derived load levels, and the fine-tuned synthetic spec cloned at medium
+// load. Measurement cells after the barrier read it read-only.
+type clonePrep struct {
+	capacity float64
+	levels   []LoadLevel
+}
+
+// prepLevels probes capacity (open-loop apps only) and derives the
+// low/medium/high loads.
+func prepLevels(c appCase, opt Options) clonePrep {
+	pr := clonePrep{}
+	if c.open {
+		pr.capacity = probeCapacity(c, opt.Windows, opt.Seed)
+	}
+	pr.levels = loadLevels(c, pr.capacity, opt.Seed)
+	return pr
+}

@@ -53,6 +53,7 @@ type Kernel struct {
 	stopping bool
 	threads  []*Thread
 	nextTID  int
+	procSeq  uint64
 
 	// Filesystem.
 	files  map[string]*File
@@ -135,14 +136,17 @@ type Proc struct {
 	spawnedEver int
 }
 
-var procSeq uint64
-
-// NewProc creates a process on this kernel.
+// NewProc creates a process on this kernel. Address-space bases are spaced
+// per kernel, not globally: caches are per machine, so distinctness only
+// matters between processes of the same kernel — and keeping the counter
+// here makes a process's MemBase a pure function of its creation order on
+// its own machine, independent of how many other simulations ran first in
+// the same OS process (experiment cells execute concurrently).
 func (k *Kernel) NewProc(name string) *Proc {
-	procSeq++
+	k.procSeq++
 	return &Proc{
 		Name:    name,
-		MemBase: procSeq << 36, // 64GB-spaced address spaces
+		MemBase: k.procSeq << 36, // 64GB-spaced address spaces
 		k:       k,
 	}
 }
@@ -255,7 +259,7 @@ func (k *Kernel) wake(t *Thread, source string) {
 	t.lastWakeSrc = source
 	k.emitThread(ThreadEvent{Time: k.eng.Now(), TID: t.ID, Proc: t.Proc.Name,
 		Thread: t.Name, Kind: ThreadWake, Source: source})
-	k.eng.After(0, func() { k.dispatch(t) })
+	k.eng.AfterFunc(0, func() { k.dispatch(t) })
 }
 
 // Stop terminates all simulated threads. Call it after the measurement
@@ -265,7 +269,7 @@ func (k *Kernel) Stop() {
 	for _, t := range k.threads {
 		t := t
 		if !t.done {
-			k.eng.After(0, func() { k.dispatch(t) })
+			k.eng.AfterFunc(0, func() { k.dispatch(t) })
 		}
 	}
 }
@@ -320,7 +324,7 @@ func (k *Kernel) runBurst(coreID int, b *burst) {
 		res.Counters.Add(r.Counters)
 	}
 	dur := extra + core.Time(res.Cycles)
-	k.eng.After(dur, func() {
+	k.eng.AfterFunc(dur, func() {
 		b.res = res
 		b.done = true
 		k.idleCores = append(k.idleCores, coreID)
@@ -376,7 +380,7 @@ func (t *Thread) Run(stream []isa.Instr) cpu.Result {
 func (t *Thread) Sleep(d sim.Time) {
 	t.syscallEnter(SysNanosleep, 0, "")
 	deadline := t.k.eng.Now() + d
-	t.k.eng.Schedule(deadline, func() { t.k.wake(t, "timer") })
+	t.k.eng.ScheduleFunc(deadline, func() { t.k.wake(t, "timer") })
 	for t.k.eng.Now() < deadline {
 		t.park()
 	}

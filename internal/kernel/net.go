@@ -85,7 +85,7 @@ func (t *Thread) Connect(dst *Kernel, port int) *Endpoint {
 		rtt = netsim.LoopbackRTT
 	}
 	deadline := k.eng.Now() + rtt
-	k.eng.Schedule(deadline, func() {
+	k.eng.ScheduleFunc(deadline, func() {
 		l.backlog = append(l.backlog, server)
 		wakeAll(l.k, &l.waiters, "socket")
 		notifyEpolls(l.k, l.epolls)

@@ -84,7 +84,7 @@ func Send(eng *sim.Engine, p Path, bytes int, deliver func()) sim.Time {
 		p.Dst.RxMsgs++
 	}
 	if deliver != nil {
-		eng.Schedule(arrive, deliver)
+		eng.ScheduleFunc(arrive, deliver)
 	}
 	return arrive
 }

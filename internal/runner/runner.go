@@ -1,0 +1,258 @@
+// Package runner executes experiment plans. A Cell is one named,
+// self-contained measurement: it builds whatever simulation state it needs,
+// runs it, and returns a typed result, writing any report rows to its
+// private writer. A Plan is an ordered list of cells, optionally split into
+// stages by barriers, executed by a bounded worker pool.
+//
+// Determinism contract: every cell runs its own single-goroutine sim.Engine
+// and shares no mutable state with other cells of the same stage (state set
+// by earlier stages is frozen by the barrier), so its result and output are
+// a pure function of the plan, not of scheduling. The runner buffers each
+// cell's output and releases it in plan order, which makes the combined
+// byte stream identical at any pool width.
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"regexp"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Cell is one schedulable unit of a plan.
+type Cell struct {
+	Name string
+	// Prep marks an infrastructure cell (profiling, cloning, capacity
+	// probing) whose captured results later cells in the plan read. Filter
+	// keeps a prep cell alive as long as any cell under the same name
+	// prefix survives.
+	Prep bool
+	Run  func(w io.Writer) (any, error)
+
+	stage int
+	skip  bool
+}
+
+// Plan is an ordered list of cells with optional barriers between stages.
+type Plan struct {
+	cells []Cell
+	stage int
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan { return &Plan{} }
+
+// Add appends a measurement cell to the current stage.
+func (p *Plan) Add(name string, fn func(w io.Writer) (any, error)) {
+	p.cells = append(p.cells, Cell{Name: name, Run: fn, stage: p.stage})
+}
+
+// AddPrep appends a prep cell to the current stage; see Cell.Prep.
+func (p *Plan) AddPrep(name string, fn func(w io.Writer) (any, error)) {
+	p.cells = append(p.cells, Cell{Name: name, Prep: true, Run: fn, stage: p.stage})
+}
+
+// Barrier closes the current stage: cells added afterwards start only once
+// every earlier cell has finished. The barrier is also the synchronization
+// point that lets later cells read variables written by earlier ones.
+func (p *Plan) Barrier() { p.stage++ }
+
+// Len reports the number of cells in the plan, skipped or not.
+func (p *Plan) Len() int { return len(p.cells) }
+
+// Names lists the cell names in plan order.
+func (p *Plan) Names() []string {
+	ns := make([]string, len(p.cells))
+	for i := range p.cells {
+		ns[i] = p.cells[i].Name
+	}
+	return ns
+}
+
+// Filter marks every cell whose name does not match re as skipped and
+// returns how many non-prep cells survive. A prep cell additionally
+// survives when any surviving non-prep cell shares its name prefix (the
+// part up to the prep cell's last '/'), so "fig5/redis/low/actual" keeps
+// "fig5/redis/clone" alive while "fig5/memcached/clone" is skipped.
+func (p *Plan) Filter(re *regexp.Regexp) int {
+	live := 0
+	for i := range p.cells {
+		c := &p.cells[i]
+		c.skip = !re.MatchString(c.Name)
+		if !c.skip && !c.Prep {
+			live++
+		}
+	}
+	for i := range p.cells {
+		c := &p.cells[i]
+		if !c.Prep || !c.skip {
+			continue
+		}
+		prefix := c.Name
+		if j := strings.LastIndex(prefix, "/"); j >= 0 {
+			prefix = prefix[:j+1]
+		}
+		for k := range p.cells {
+			d := &p.cells[k]
+			if !d.Prep && !d.skip && strings.HasPrefix(d.Name, prefix) {
+				c.skip = false
+				break
+			}
+		}
+	}
+	return live
+}
+
+// Key joins name parts into a canonical cell name.
+func Key(parts ...string) string { return strings.Join(parts, "/") }
+
+// Grid2 adds one cell per (a, b) combination, in row-major plan order.
+func Grid2[A, B any](p *Plan, as []A, bs []B,
+	name func(A, B) string, fn func(A, B, io.Writer) (any, error)) {
+	for _, a := range as {
+		for _, b := range bs {
+			a, b := a, b
+			p.Add(name(a, b), func(w io.Writer) (any, error) { return fn(a, b, w) })
+		}
+	}
+}
+
+// Grid3 adds one cell per (a, b, c) combination, in row-major plan order.
+func Grid3[A, B, C any](p *Plan, as []A, bs []B, cs []C,
+	name func(A, B, C) string, fn func(A, B, C, io.Writer) (any, error)) {
+	for _, a := range as {
+		for _, b := range bs {
+			for _, c := range cs {
+				a, b, c := a, b, c
+				p.Add(name(a, b, c), func(w io.Writer) (any, error) { return fn(a, b, c, w) })
+			}
+		}
+	}
+}
+
+// CellResult is one cell's outcome, in plan order.
+type CellResult struct {
+	Name    string
+	Value   any
+	Err     error
+	Skipped bool
+	Elapsed time.Duration
+}
+
+// Options shapes one plan execution.
+type Options struct {
+	// Parallel bounds the worker pool; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Progress, when set, observes each cell completion (called from the
+	// coordinating goroutine, in completion order, never concurrently).
+	Progress func(done, total int, r CellResult)
+}
+
+// Run executes the plan and returns one result per cell in plan order.
+// Each cell's output is buffered and written to w in plan order regardless
+// of completion order. A panicking cell is captured as its result's Err;
+// the other cells keep running.
+func Run(w io.Writer, p *Plan, opt Options) []CellResult {
+	par := opt.Parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	results := make([]CellResult, len(p.cells))
+	outputs := make([][]byte, len(p.cells))
+	done := make([]bool, len(p.cells))
+	total := 0
+	for _, c := range p.cells {
+		if !c.skip {
+			total++
+		}
+	}
+
+	next := 0 // next cell whose output may be flushed
+	flush := func() {
+		for next < len(p.cells) && done[next] {
+			if w != nil && len(outputs[next]) > 0 {
+				w.Write(outputs[next])
+			}
+			outputs[next] = nil
+			next++
+		}
+	}
+
+	completed := 0
+	for lo := 0; lo < len(p.cells); {
+		hi := lo
+		for hi < len(p.cells) && p.cells[hi].stage == p.cells[lo].stage {
+			hi++
+		}
+		type doneMsg struct {
+			idx int
+			res CellResult
+			out []byte
+		}
+		work := make(chan int)
+		finished := make(chan doneMsg)
+		var wg sync.WaitGroup
+		for i := 0; i < par; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for idx := range work {
+					res, out := runCell(&p.cells[idx])
+					finished <- doneMsg{idx: idx, res: res, out: out}
+				}
+			}()
+		}
+		go func() {
+			for idx := lo; idx < hi; idx++ {
+				if p.cells[idx].skip {
+					continue
+				}
+				work <- idx
+			}
+			close(work)
+			wg.Wait()
+			close(finished)
+		}()
+		for idx := lo; idx < hi; idx++ {
+			if p.cells[idx].skip {
+				results[idx] = CellResult{Name: p.cells[idx].Name, Skipped: true}
+				done[idx] = true
+			}
+		}
+		for msg := range finished {
+			results[msg.idx] = msg.res
+			outputs[msg.idx] = msg.out
+			done[msg.idx] = true
+			flush()
+			completed++
+			if opt.Progress != nil {
+				opt.Progress(completed, total, msg.res)
+			}
+		}
+		flush()
+		lo = hi
+	}
+	return results
+}
+
+// runCell executes one cell with panic capture.
+func runCell(c *Cell) (res CellResult, out []byte) {
+	var buf bytes.Buffer
+	res.Name = c.Name
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("cell %s panicked: %v\n%s", c.Name, r, debug.Stack())
+		}
+		out = buf.Bytes()
+	}()
+	v, err := c.Run(&buf)
+	res.Value, res.Err = v, err
+	return
+}

@@ -1,0 +1,210 @@
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stagger makes later-planned cells finish earlier, so in-order delivery is
+// actually exercised rather than happening by accident.
+func stagger(n, i int) { time.Sleep(time.Duration(n-i) * time.Millisecond) }
+
+func TestRunDeliversPlanOrder(t *testing.T) {
+	const n = 16
+	p := NewPlan()
+	for i := 0; i < n; i++ {
+		i := i
+		p.Add(fmt.Sprintf("cell/%02d", i), func(w io.Writer) (any, error) {
+			stagger(n, i)
+			fmt.Fprintf(w, "row %02d\n", i)
+			return i, nil
+		})
+	}
+	var buf bytes.Buffer
+	results := Run(&buf, p, Options{Parallel: 8})
+	if len(results) != n {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r.Value != i || r.Err != nil || r.Skipped {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+	var want strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&want, "row %02d\n", i)
+	}
+	if buf.String() != want.String() {
+		t.Fatalf("output out of plan order:\n%s", buf.String())
+	}
+}
+
+func TestRunByteIdenticalAcrossPoolWidths(t *testing.T) {
+	build := func() *Plan {
+		p := NewPlan()
+		for i := 0; i < 12; i++ {
+			i := i
+			p.Add(fmt.Sprintf("c/%d", i), func(w io.Writer) (any, error) {
+				stagger(12, i)
+				fmt.Fprintf(w, "v=%d\n", i*i)
+				return nil, nil
+			})
+		}
+		return p
+	}
+	var b1, b8 bytes.Buffer
+	Run(&b1, build(), Options{Parallel: 1})
+	Run(&b8, build(), Options{Parallel: 8})
+	if !bytes.Equal(b1.Bytes(), b8.Bytes()) {
+		t.Fatalf("output differs across pool widths:\n-- p1:\n%s-- p8:\n%s", b1.String(), b8.String())
+	}
+}
+
+func TestBarrierOrdersStages(t *testing.T) {
+	p := NewPlan()
+	var shared atomic.Int64
+	for i := 0; i < 6; i++ {
+		i := i
+		p.AddPrep(fmt.Sprintf("prep/%d/build", i), func(io.Writer) (any, error) {
+			stagger(6, i)
+			shared.Add(1)
+			return nil, nil
+		})
+	}
+	p.Barrier()
+	for i := 0; i < 6; i++ {
+		p.Add(fmt.Sprintf("measure/%d", i), func(io.Writer) (any, error) {
+			return shared.Load(), nil
+		})
+	}
+	results := Run(io.Discard, p, Options{Parallel: 4})
+	for _, r := range results[6:] {
+		if r.Value != int64(6) {
+			t.Fatalf("measure cell %s ran before barrier: saw %v preps", r.Name, r.Value)
+		}
+	}
+}
+
+func TestPanicCapture(t *testing.T) {
+	p := NewPlan()
+	p.Add("ok", func(io.Writer) (any, error) { return "fine", nil })
+	p.Add("boom", func(io.Writer) (any, error) { panic("kaput") })
+	p.Add("also-ok", func(w io.Writer) (any, error) {
+		fmt.Fprintln(w, "still here")
+		return 7, nil
+	})
+	var buf bytes.Buffer
+	results := Run(&buf, p, Options{Parallel: 2})
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy cells errored: %+v", results)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "kaput") {
+		t.Fatalf("panic not captured: %v", results[1].Err)
+	}
+	if !strings.Contains(buf.String(), "still here") {
+		t.Fatal("cells after a panic should still run")
+	}
+}
+
+func TestFilterKeepsNeededPreps(t *testing.T) {
+	p := NewPlan()
+	p.AddPrep("fig5/redis/clone", func(io.Writer) (any, error) { return nil, nil })
+	p.AddPrep("fig5/memcached/clone", func(io.Writer) (any, error) { return nil, nil })
+	p.Barrier()
+	p.Add("fig5/redis/low/actual", func(io.Writer) (any, error) { return nil, nil })
+	p.Add("fig5/memcached/low/actual", func(io.Writer) (any, error) { return nil, nil })
+
+	live := p.Filter(regexp.MustCompile(`fig5/redis/low`))
+	if live != 1 {
+		t.Fatalf("live = %d", live)
+	}
+	results := Run(io.Discard, p, Options{Parallel: 2})
+	byName := map[string]CellResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	if byName["fig5/redis/clone"].Skipped {
+		t.Fatal("prep for surviving cell was skipped")
+	}
+	if !byName["fig5/memcached/clone"].Skipped || !byName["fig5/memcached/low/actual"].Skipped {
+		t.Fatal("unrelated cells should be skipped")
+	}
+	if byName["fig5/redis/low/actual"].Skipped {
+		t.Fatal("matching cell was skipped")
+	}
+}
+
+func TestFilterMatchingPrepSurvivesAlone(t *testing.T) {
+	p := NewPlan()
+	p.AddPrep("fig9/profile", func(io.Writer) (any, error) { return nil, nil })
+	p.Add("fig9/stage/A", func(io.Writer) (any, error) { return nil, nil })
+	if live := p.Filter(regexp.MustCompile(`fig9/profile`)); live != 0 {
+		t.Fatalf("live = %d, prep cells are not counted", live)
+	}
+	results := Run(io.Discard, p, Options{})
+	if results[0].Skipped {
+		t.Fatal("explicitly matched prep should run")
+	}
+	if !results[1].Skipped {
+		t.Fatal("unmatched cell should be skipped")
+	}
+}
+
+func TestProgressCounts(t *testing.T) {
+	p := NewPlan()
+	for i := 0; i < 5; i++ {
+		p.Add(fmt.Sprintf("c/%d", i), func(io.Writer) (any, error) { return nil, nil })
+	}
+	p.Filter(regexp.MustCompile(`c/[0-3]`))
+	var calls []int
+	Run(io.Discard, p, Options{Parallel: 2, Progress: func(done, total int, r CellResult) {
+		if total != 4 {
+			t.Fatalf("total = %d", total)
+		}
+		calls = append(calls, done)
+	}})
+	if len(calls) != 4 || calls[len(calls)-1] != 4 {
+		t.Fatalf("progress calls = %v", calls)
+	}
+}
+
+func TestGridHelpers(t *testing.T) {
+	p := NewPlan()
+	Grid2(p, []string{"a", "b"}, []int{1, 2},
+		func(s string, i int) string { return Key("g", s, fmt.Sprint(i)) },
+		func(s string, i int, w io.Writer) (any, error) { return fmt.Sprintf("%s%d", s, i), nil })
+	Grid3(p, []int{1}, []string{"x", "y"}, []bool{false, true},
+		func(a int, b string, c bool) string { return Key("h", fmt.Sprint(a), b, fmt.Sprint(c)) },
+		func(a int, b string, c bool, w io.Writer) (any, error) { return nil, nil })
+	want := []string{"g/a/1", "g/a/2", "g/b/1", "g/b/2",
+		"h/1/x/false", "h/1/x/true", "h/1/y/false", "h/1/y/true"}
+	names := p.Names()
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	results := Run(io.Discard, p, Options{Parallel: 3})
+	if results[0].Value != "a1" || results[3].Value != "b2" {
+		t.Fatalf("grid results = %+v", results[:4])
+	}
+}
+
+func TestErrorsDoNotStopOtherCells(t *testing.T) {
+	p := NewPlan()
+	p.Add("bad", func(io.Writer) (any, error) { return nil, fmt.Errorf("no") })
+	p.Add("good", func(io.Writer) (any, error) { return 1, nil })
+	results := Run(io.Discard, p, Options{Parallel: 1})
+	if results[0].Err == nil || results[1].Value != 1 {
+		t.Fatalf("results = %+v", results)
+	}
+}

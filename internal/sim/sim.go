@@ -66,20 +66,29 @@ func (t Time) String() string {
 }
 
 // Event is a scheduled callback. Events are created by Engine.Schedule and
-// Engine.After and may be cancelled until they fire.
+// Engine.After and may be cancelled until they fire. Events created by the
+// handle-free ScheduleFunc/AfterFunc variants are recycled through the
+// engine's free list and never escape.
 type Event struct {
 	at        Time
 	seq       uint64
 	fn        func()
 	index     int // heap index, -1 once popped or cancelled
 	cancelled bool
+	fired     bool
+	pooled    bool
 }
 
 // At reports the virtual time the event is scheduled for.
 func (e *Event) At() Time { return e.at }
 
-// Cancelled reports whether Cancel was called on the event before it fired.
+// Cancelled reports whether Cancel prevented the event from firing. Events
+// that already fired report false: firing and cancellation are mutually
+// exclusive outcomes.
 func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Fired reports whether the event's callback has run.
+func (e *Event) Fired() bool { return e.fired }
 
 type eventHeap []*Event
 
@@ -119,6 +128,11 @@ type Engine struct {
 	events eventHeap
 	seq    uint64
 	fired  uint64
+	// free recycles events scheduled through ScheduleFunc/AfterFunc. Those
+	// events never escape to callers, so reusing their memory is safe; the
+	// hot path (kernel wakeups, network deliveries — millions per run)
+	// stops allocating one *Event per schedule.
+	free []*Event
 }
 
 // NewEngine returns an empty engine positioned at the simulation epoch.
@@ -137,13 +151,7 @@ func (e *Engine) Pending() int { return len(e.events) }
 // (at < Now) panics: it always indicates a modeling bug, and silently
 // clamping would hide it.
 func (e *Engine) Schedule(at Time, fn func()) *Event {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
-	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	return e.schedule(at, fn, false)
 }
 
 // After registers fn to run d after the current time.
@@ -151,20 +159,55 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	if d < 0 {
 		d = 0
 	}
-	return e.Schedule(e.now+d, fn)
+	return e.schedule(e.now+d, fn, false)
 }
 
-// Cancel prevents ev from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled || ev.index < 0 {
-		if ev != nil {
-			ev.cancelled = true
-		}
-		return
+// ScheduleFunc registers fn to run at absolute time at without returning a
+// handle. The event cannot be cancelled or inspected, which lets the engine
+// recycle its memory through a free list once it fires — use this on hot
+// paths that never cancel.
+func (e *Engine) ScheduleFunc(at Time, fn func()) {
+	e.schedule(at, fn, true)
+}
+
+// AfterFunc registers fn to run d after the current time without returning
+// a handle; see ScheduleFunc.
+func (e *Engine) AfterFunc(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, fn, true)
+}
+
+func (e *Engine) schedule(at Time, fn func(), pooled bool) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	var ev *Event
+	if n := len(e.free); pooled && n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{at: at, seq: e.seq, fn: fn, pooled: true}
+	} else {
+		ev = &Event{at: at, seq: e.seq, fn: fn, pooled: pooled}
+	}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Cancel prevents ev from firing and reports whether this call actually
+// stopped it. Cancelling a nil, already-cancelled or already-fired event is
+// a no-op returning false; in particular a fired event keeps reporting
+// Cancelled() == false, so history is never misreported.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.cancelled || ev.fired || ev.index < 0 {
+		return false
 	}
 	ev.cancelled = true
 	heap.Remove(&e.events, ev.index)
+	return true
 }
 
 // Step fires the next pending event, advancing the clock to its time. It
@@ -177,7 +220,16 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
-		ev.fn()
+		fn := ev.fn
+		ev.fired = true
+		if ev.pooled {
+			// Release before running fn so an immediate reschedule inside
+			// the callback reuses this slot. Pooled events have no outside
+			// handle, so nothing can observe the reuse.
+			ev.fn = nil
+			e.free = append(e.free, ev)
+		}
+		fn()
 		return true
 	}
 	return false

@@ -195,6 +195,155 @@ func TestFiredAndPending(t *testing.T) {
 	}
 }
 
+func TestCancelReportsWhetherPrevented(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(10, func() {})
+	if !e.Cancel(ev) {
+		t.Fatal("first Cancel should report true: it removed the event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second Cancel should report false: nothing left to stop")
+	}
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) should report false")
+	}
+	e.Run()
+}
+
+func TestCancelAfterFiringReportsFalse(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(10, func() { ran = true })
+	e.Run()
+	if !ran || !ev.Fired() {
+		t.Fatalf("event should have fired: ran=%v Fired=%v", ran, ev.Fired())
+	}
+	if e.Cancel(ev) {
+		t.Fatal("cancelling a fired event must report false")
+	}
+	if ev.Cancelled() {
+		t.Fatal("a fired event must keep Cancelled() == false")
+	}
+}
+
+// Satellite regression: RunUntil with cancellations interleaved between and
+// inside windows fires exactly the surviving events and still lands the
+// clock on every requested boundary.
+func TestRunUntilInterleavedCancellations(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	evs := map[Time]*Event{}
+	for _, at := range []Time{5, 10, 15, 20, 25, 30} {
+		at := at
+		evs[at] = e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	// Cancel a future event from inside an earlier one.
+	e.Schedule(6, func() {
+		if !e.Cancel(evs[15]) {
+			t.Error("in-callback Cancel of pending event should report true")
+		}
+	})
+	e.RunUntil(12)
+	if len(fired) != 2 || fired[0] != 5 || fired[1] != 10 {
+		t.Fatalf("window 1 fired %v, want [5 10]", fired)
+	}
+	if e.Now() != 12 {
+		t.Fatalf("Now = %v, want 12", e.Now())
+	}
+	// Cancel between windows.
+	if !e.Cancel(evs[20]) {
+		t.Fatal("between-window Cancel should report true")
+	}
+	e.RunUntil(22)
+	if len(fired) != 2 {
+		t.Fatalf("window 2 fired %v, want nothing new (15, 20 cancelled)", fired)
+	}
+	if e.Now() != 22 {
+		t.Fatalf("Now = %v, want 22 even with all window events cancelled", e.Now())
+	}
+	// Cancelling what already fired changes nothing.
+	if e.Cancel(evs[10]) {
+		t.Fatal("Cancel of fired event should report false")
+	}
+	e.Run()
+	if len(fired) != 4 || fired[2] != 25 || fired[3] != 30 {
+		t.Fatalf("final fired %v, want [5 10 25 30]", fired)
+	}
+}
+
+func TestScheduleFuncRecyclesThroughFreeList(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleFunc(1, func() {})
+	e.Step()
+	if len(e.free) != 1 {
+		t.Fatalf("free list has %d events after pooled fire, want 1", len(e.free))
+	}
+	recycled := e.free[0]
+	e.ScheduleFunc(2, func() {})
+	if len(e.free) != 0 {
+		t.Fatal("pooled schedule should take the free-list slot")
+	}
+	if e.events[0] != recycled {
+		t.Fatal("pooled schedule should reuse the recycled Event")
+	}
+	e.Run()
+	if len(e.free) != 1 {
+		t.Fatalf("free list has %d events after drain, want 1", len(e.free))
+	}
+}
+
+func TestUnpooledEventsAreNotRecycled(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() {})
+	e.After(2, func() {})
+	e.Run()
+	if len(e.free) != 0 {
+		t.Fatalf("handle-returning events must not enter the free list, got %d", len(e.free))
+	}
+	if !ev.Fired() {
+		t.Fatal("event should have fired")
+	}
+}
+
+// A callback that immediately reschedules itself must reuse its own slot:
+// the whole chain runs on a single allocation.
+func TestPooledRescheduleInsideCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 1000 {
+			e.AfterFunc(1, tick)
+		}
+	}
+	e.AfterFunc(1, tick)
+	e.Run()
+	if count != 1000 {
+		t.Fatalf("count = %d, want 1000", count)
+	}
+	if len(e.free) != 1 {
+		t.Fatalf("free list has %d events, want the single reused slot", len(e.free))
+	}
+}
+
+// Pooled and unpooled events at the same instant must still fire FIFO even
+// when the pooled ones are recycled mid-instant.
+func TestPooledPreservesSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for round := 0; round < 3; round++ {
+		e.ScheduleFunc(5, func() { order = append(order, len(order)) })
+		e.Schedule(5, func() { order = append(order, len(order)) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant order broken: %v", order)
+		}
+	}
+}
+
 // Property: events always fire in nondecreasing time order regardless of the
 // order they were scheduled in.
 func TestEventOrderProperty(t *testing.T) {
