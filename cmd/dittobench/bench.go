@@ -4,10 +4,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"testing"
 	"time"
 
+	"ditto/internal/app"
 	"ditto/internal/experiments"
 	"ditto/internal/sim"
 )
@@ -26,6 +28,14 @@ type benchReport struct {
 
 	// One end-to-end figure cell (fig8 nginx actual, quick windows).
 	FigureCell benchStat `json:"figure_cell"`
+
+	// Resilience-layer hot path: breaker admit/record plus backoff math for
+	// one successful call. The no-fault path must stay allocation-free.
+	ResiliencePolicy benchStat `json:"resilience_policy"`
+
+	// One fault-injection figure cell (figF crash-cache, original variant,
+	// quick windows): chaos plane + resilient RPC end to end.
+	FaultCell benchStat `json:"fault_cell"`
 
 	// Wall clock of the fig11 grid at pool width 1 vs GOMAXPROCS.
 	GridSerialSec   float64 `json:"grid_serial_sec"`
@@ -92,6 +102,29 @@ func writeBenchJSON(path string, opt experiments.Options) error {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			experiments.RunFig8(discard{}, cellOpt)
+		}
+	}))
+
+	fmt.Fprintln(os.Stderr, "bench: resilience breaker admit+record (no-fault hot path)")
+	rep.ResiliencePolicy = statOf(testing.Benchmark(func(b *testing.B) {
+		br := app.NewBreaker(5, 10*sim.Millisecond)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now := sim.Time(i) * sim.Microsecond
+			if br.Allow(now) {
+				br.OnResult(now, true)
+			}
+		}
+	}))
+
+	fmt.Fprintln(os.Stderr, "bench: fault-injection figure cell (figF crash-cache, quick windows)")
+	faultOpt := opt
+	faultOpt.CellFilter = regexp.MustCompile(`figF/crash-cache/actual`)
+	rep.FaultCell = statOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			experiments.RunFigF(discard{}, faultOpt, 600)
 		}
 	}))
 

@@ -60,9 +60,17 @@ func main() {
 		opt.IncludeSocial = false
 	}
 	if *progress {
-		opt.Progress = func(done, total int, r runner.CellResult) {
-			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-40s %8.2fs\n",
-				done, total, r.Name, r.Elapsed.Seconds())
+		opt.Progress = func(done, total, failed int, r runner.CellResult) {
+			status := ""
+			if r.Err != nil {
+				status = "  ERR"
+			}
+			errs := ""
+			if failed > 0 {
+				errs = fmt.Sprintf("  errs=%d", failed)
+			}
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-40s %8.2fs%s%s\n",
+				done, total, r.Name, r.Elapsed.Seconds(), status, errs)
 		}
 	}
 
@@ -116,5 +124,6 @@ func figures(opt experiments.Options) []func(w *os.File) {
 		func(w *os.File) { experiments.RunFig9(w, opt) },
 		func(w *os.File) { experiments.RunFig10(w, opt) },
 		func(w *os.File) { experiments.RunFig11(w, opt, nil, nil) },
+		func(w *os.File) { experiments.RunFigF(w, opt, 0) },
 	}
 }

@@ -12,6 +12,7 @@ import (
 type Request struct {
 	Kind   int      // operation type (app-specific)
 	SentAt sim.Time // client send timestamp
+	Failed bool     // some tier degraded this request (shed, or downstream lost)
 }
 
 // App is a runnable server application — original or Ditto-generated.

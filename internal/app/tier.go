@@ -4,6 +4,7 @@ import (
 	"ditto/internal/dtrace"
 	"ditto/internal/kernel"
 	"ditto/internal/platform"
+	"ditto/internal/sim"
 	"ditto/internal/stats"
 )
 
@@ -15,6 +16,13 @@ type RPCCtx struct {
 	Kind   int
 	Trace  dtrace.TraceID
 	Parent dtrace.SpanID
+	// Resilience metadata. Attempt/Hedged tag which delivery of a retried or
+	// hedged call this context carries; Failed is set by the serving tier
+	// before it responds when the invocation was shed or lost a downstream
+	// dependency, so the caller sees the app-level error.
+	Attempt uint8
+	Hedged  bool
+	Failed  bool
 }
 
 // Call is one potential downstream RPC edge.
@@ -39,6 +47,10 @@ type TierConfig struct {
 	RespBytes int
 	Calls     map[int][]Call // downstream edges per request kind
 	Seed      int64
+	// Resilience, when non-nil, turns on the resilient RPC path (timeouts,
+	// retries, hedging, circuit breaking, load shedding). Nil keeps the
+	// legacy blocking path byte-identical to the pre-fault simulator.
+	Resilience *Resilience
 }
 
 // Tier is a generic RPC microservice: a network/thread skeleton, a request
@@ -55,8 +67,9 @@ type Tier struct {
 	// (e.g. a storage tier's pread) after the body runs.
 	PostWork func(th *kernel.Thread, kind int)
 
-	rng   *stats.Rand
-	conns map[*kernel.Thread]map[string]*kernel.Endpoint
+	rng      *stats.Rand
+	conns    map[*kernel.Thread]map[string]*kernel.Endpoint
+	breakers map[string]*Breaker // per downstream target, resilient path only
 }
 
 // NewTier builds a tier on m.
@@ -70,8 +83,9 @@ func NewTier(m *platform.Machine, cfg TierConfig, body Body) *Tier {
 	return &Tier{
 		Base: newBase(cfg.Name, m, cfg.Port, cfg.Seed),
 		Cfg:  cfg, Body: body,
-		rng:   stats.NewRand(cfg.Seed ^ 0x7349),
-		conns: map[*kernel.Thread]map[string]*kernel.Endpoint{},
+		rng:      stats.NewRand(cfg.Seed ^ 0x7349),
+		conns:    map[*kernel.Thread]map[string]*kernel.Endpoint{},
+		breakers: map[string]*Breaker{},
 	}
 }
 
@@ -111,12 +125,25 @@ func (t *Tier) ctxOf(msg kernel.Msg) *RPCCtx {
 // downstream calls, response.
 func (t *Tier) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.Msg) {
 	ctx := t.ctxOf(msg)
+	r := t.Cfg.Resilience
 	var span dtrace.Span
 	if t.Collector != nil && ctx.Trace != 0 {
 		span = dtrace.Span{Trace: ctx.Trace, ID: t.Collector.NextSpanID(),
 			Parent: ctx.Parent, Service: t.Cfg.Name,
 			Operation: kindName(ctx.Kind), Start: th.Now(),
-			ReqBytes: msg.Bytes, RespBytes: t.Cfg.RespBytes}
+			ReqBytes: msg.Bytes, RespBytes: t.Cfg.RespBytes,
+			Attempt: ctx.Attempt, Hedged: ctx.Hedged}
+	}
+	// Load shedding: a request that sat in the server queue past the policy
+	// bound is rejected before any body work — overload control.
+	if r != nil && r.ShedAfter > 0 && msg.Sent > 0 && th.Now()-msg.Sent > r.ShedAfter {
+		t.fail(ctx, &span)
+		if span.ID != 0 {
+			span.End = th.Now()
+			t.Collector.Record(span)
+		}
+		echo(th, conn, msg, t.Cfg.RespBytes)
+		return
 	}
 	if t.Body != nil {
 		th.Run(t.Body.EmitRequest(ctx.Kind, nil))
@@ -128,14 +155,21 @@ func (t *Tier) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.Msg) 
 		if call.Prob < 1 && t.rng.Float64() >= call.Prob {
 			continue
 		}
-		down := t.connTo(th, call.Target)
-		child := &RPCCtx{Req: ctx.Req, Kind: ctx.Kind, Trace: ctx.Trace, Parent: span.ID}
-		reqB := call.ReqBytes
-		if reqB <= 0 {
-			reqB = 256
+		if r == nil {
+			down := t.connTo(th, call.Target)
+			child := &RPCCtx{Req: ctx.Req, Kind: ctx.Kind, Trace: ctx.Trace, Parent: span.ID}
+			reqB := call.ReqBytes
+			if reqB <= 0 {
+				reqB = 256
+			}
+			th.Send(down, reqB, child)
+			th.Recv(down)
+			continue
 		}
-		th.Send(down, reqB, child)
-		th.Recv(down)
+		if !t.callResilient(th, call, ctx, &span) {
+			span.DownErrors++
+			t.fail(ctx, &span)
+		}
 	}
 	if span.ID != 0 {
 		span.End = th.Now()
@@ -143,6 +177,179 @@ func (t *Tier) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.Msg) 
 	}
 	echo(th, conn, msg, t.Cfg.RespBytes)
 }
+
+// fail marks this invocation degraded: the serving span, the RPC context the
+// caller will inspect, and the root client request all record the error.
+func (t *Tier) fail(ctx *RPCCtx, span *dtrace.Span) {
+	ctx.Failed = true
+	if ctx.Req != nil {
+		ctx.Req.Failed = true
+	}
+	span.Failed = true
+}
+
+// callResilient performs one downstream call under the tier's resilience
+// policy: bounded dial + response wait per attempt, exponential backoff with
+// deterministic jitter between attempts, one hedged duplicate per attempt,
+// and a per-edge circuit breaker. It returns false when the call ultimately
+// failed — breaker open, attempts exhausted, or the downstream answered with
+// an app-level error (which is final: retrying cannot fix a deeper outage).
+func (t *Tier) callResilient(th *kernel.Thread, call Call, ctx *RPCCtx, span *dtrace.Span) bool {
+	r := t.Cfg.Resilience
+	reqB := call.ReqBytes
+	if reqB <= 0 {
+		reqB = 256
+	}
+	br := t.breakerFor(call.Target)
+	if !br.Allow(th.Now()) {
+		span.BreakerOpen = true
+		return false
+	}
+	if r.Timeout <= 0 {
+		// No timeout configured: the attempt is the legacy blocking call.
+		down := t.connTo(th, call.Target)
+		child := &RPCCtx{Req: ctx.Req, Kind: ctx.Kind, Trace: ctx.Trace, Parent: span.ID}
+		th.Send(down, reqB, child)
+		reply, _ := th.Recv(down).Payload.(*RPCCtx)
+		ok := reply == child && !reply.Failed
+		br.OnResult(th.Now(), ok)
+		return ok
+	}
+	var sent [8]*RPCCtx // pointer-identity set for reply matching
+	n := 0
+	success := false
+	for k := 0; k <= r.Retries; k++ {
+		if k > 0 {
+			span.Retries++
+			if d := r.retryDelay(k, t.rng); d > 0 {
+				th.Sleep(d)
+			}
+		}
+		down := t.connResilient(th, call.Target, r.Timeout)
+		if down == nil {
+			continue // dial timed out (listener unbound); back off and retry
+		}
+		child := &RPCCtx{Req: ctx.Req, Kind: ctx.Kind, Trace: ctx.Trace,
+			Parent: span.ID, Attempt: uint8(k)}
+		if n < len(sent) {
+			sent[n] = child
+			n++
+		}
+		th.Send(down, reqB, child)
+		reply, hedge := t.awaitReply(th, down, sent[:n], reqB, ctx, span, k)
+		if hedge != nil && n < len(sent) {
+			sent[n] = hedge
+			n++
+		}
+		if reply != nil {
+			success = !reply.Failed
+			break
+		}
+	}
+	br.OnResult(th.Now(), success)
+	return success
+}
+
+// awaitReply waits out one attempt's response window on down, sending a
+// hedged duplicate at the policy's hedge point and accepting whichever copy
+// of any of this call's attempts answers first. Replies to earlier calls on
+// the same connection (a previous attempt that timed out after the server
+// served it) are discarded by pointer identity. It returns nil when the
+// window closes or the connection dies, plus the hedge context if one was
+// sent.
+func (t *Tier) awaitReply(th *kernel.Thread, down *kernel.Endpoint, sent []*RPCCtx,
+	reqB int, ctx *RPCCtx, span *dtrace.Span, attempt int) (*RPCCtx, *RPCCtx) {
+	r := t.Cfg.Resilience
+	start := th.Now()
+	deadline := start + r.Timeout
+	hedgeAt := sim.Time(-1)
+	if r.HedgeAfter > 0 && r.HedgeAfter < r.Timeout {
+		hedgeAt = start + r.HedgeAfter
+	}
+	var hedge *RPCCtx
+	for {
+		limit := deadline
+		if hedge == nil && hedgeAt >= 0 && hedgeAt < limit {
+			limit = hedgeAt
+		}
+		if wait := limit - th.Now(); wait > 0 {
+			msg, got := th.RecvTimeout(down, wait)
+			if got {
+				reply, isCtx := msg.Payload.(*RPCCtx)
+				if isCtx {
+					for _, a := range sent {
+						if reply == a {
+							return reply, hedge
+						}
+					}
+					if reply == hedge {
+						return reply, hedge
+					}
+				}
+				continue // stale reply from an earlier call; keep waiting
+			}
+			if down.Dead() {
+				return nil, hedge
+			}
+		}
+		if th.Now() >= deadline {
+			return nil, hedge
+		}
+		if hedge == nil && hedgeAt >= 0 && th.Now() >= hedgeAt {
+			hedge = &RPCCtx{Req: ctx.Req, Kind: ctx.Kind, Trace: ctx.Trace,
+				Parent: span.ID, Attempt: uint8(attempt), Hedged: true}
+			span.Retries++
+			th.Send(down, reqB, hedge)
+		}
+	}
+}
+
+// breakerFor returns the circuit breaker guarding one downstream edge,
+// creating it from the tier's policy on first use.
+func (t *Tier) breakerFor(target string) *Breaker {
+	b := t.breakers[target]
+	if b == nil {
+		r := t.Cfg.Resilience
+		b = NewBreaker(r.BreakerFails, r.BreakerOpenFor)
+		t.breakers[target] = b
+	}
+	return b
+}
+
+// connResilient returns a live cached connection to target, re-dialing with
+// a bounded wait when the cache is empty or the cached connection died with
+// a crashed peer. It returns nil when the target cannot be reached in time.
+func (t *Tier) connResilient(th *kernel.Thread, target string, d sim.Time) *kernel.Endpoint {
+	per := t.conns[th]
+	if per == nil {
+		per = map[string]*kernel.Endpoint{}
+		t.conns[th] = per
+	}
+	if c := per[target]; c != nil && !c.Dead() {
+		return c
+	}
+	k, port := t.Registry.Lookup(target)
+	c := th.ConnectTimeout(k, port, d)
+	if c == nil {
+		delete(per, target)
+		return nil
+	}
+	per[target] = c
+	return c
+}
+
+// Crash kills the tier's process mid-run: every thread unwinds, the listener
+// unbinds, and all its connections close — upstream callers see dead
+// connections and dial timeouts until Restart. The per-thread connection
+// cache dies with the threads, so it is reset.
+func (t *Tier) Crash() {
+	t.M.Kernel.KillProc(t.P)
+	t.conns = map[*kernel.Thread]map[string]*kernel.Endpoint{}
+}
+
+// Restart relaunches the tier's skeleton after a Crash (a container
+// restart). New threads spawn into the same process, so counters persist.
+func (t *Tier) Restart() { t.Start() }
 
 // connTo returns this thread's persistent connection to a downstream tier,
 // dialing on first use.

@@ -168,6 +168,11 @@ type Core struct {
 	lastFetch uint64
 	haveFetch bool
 	rng       uint64
+	// throttle scales the effective clock for cycle→time conversion:
+	// 1 = full speed, 0.5 = half speed. A fault plane's slow-replica
+	// scenario sets it mid-run; cycle counts are unaffected, only how long
+	// they take, which is exactly what frequency throttling does.
+	throttle float64
 }
 
 // NewCore builds a core from cfg.
@@ -179,13 +184,26 @@ func NewCore(cfg Config) *Core {
 		cfg.FreqGHz = 2.0
 	}
 	c := &Core{
-		cfg:     cfg,
-		pred:    branch.NewPredictor(cfg.Arch.PredictorEntries),
-		robRing: make([]float64, cfg.Arch.ROB),
-		rng:     0x9E3779B97F4A7C15,
+		cfg:      cfg,
+		pred:     branch.NewPredictor(cfg.Arch.PredictorEntries),
+		robRing:  make([]float64, cfg.Arch.ROB),
+		rng:      0x9E3779B97F4A7C15,
+		throttle: 1,
 	}
 	return c
 }
+
+// SetThrottle scales the core's effective clock: 1 restores full speed,
+// 0.5 halves it. Factors outside (0, 1] are clamped to 1.
+func (c *Core) SetThrottle(f float64) {
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	c.throttle = f
+}
+
+// Throttle reports the current clock-throttle factor.
+func (c *Core) Throttle() float64 { return c.throttle }
 
 // Config returns the core's configuration.
 func (c *Core) Config() Config { return c.cfg }
@@ -228,9 +246,9 @@ type Result struct {
 }
 
 // Time converts the result's cycle count to simulated wall time at the
-// core's configured frequency.
+// core's configured frequency, slowed by any active throttle.
 func (c *Core) Time(cycles float64) sim.Time {
-	ns := cycles / c.cfg.FreqGHz
+	ns := cycles / (c.cfg.FreqGHz * c.throttle)
 	return sim.Time(ns * float64(sim.Nanosecond))
 }
 

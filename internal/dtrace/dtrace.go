@@ -24,6 +24,17 @@ type Span struct {
 	// Message-size tags, as production tracing commonly records.
 	ReqBytes  int
 	RespBytes int
+	// Resilience tags. On a server-side span, Attempt and Hedged identify
+	// which delivery of the request this invocation served; on a client
+	// (parent) span, Retries/DownErrors/BreakerOpen summarize how its
+	// downstream calls degraded. Failed marks an invocation that returned an
+	// error (its own shed, or a downstream failure it propagated).
+	Attempt     uint8
+	Hedged      bool
+	Failed      bool
+	BreakerOpen bool
+	Retries     uint16
+	DownErrors  uint16
 }
 
 // Duration returns the span's wall time.
@@ -92,8 +103,10 @@ func (c *Collector) Reset() {
 // Edge is one parent→child service dependency with its observed weight.
 type Edge struct {
 	From, To string
-	Calls    int     // child invocations observed
+	Calls    int     // child invocations observed (retries and hedges included)
 	Prob     float64 // child invocations per parent invocation
+	Retries  int     // duplicate deliveries: child spans with Attempt>0 or Hedged
+	Errors   int     // child invocations that returned an error
 }
 
 // Graph is a reconstructed service dependency graph.
@@ -106,9 +119,10 @@ type Graph struct {
 // BuildGraph reconstructs the RPC dependency DAG from collected spans —
 // the topology-extraction step Ditto feeds to its skeleton generator.
 func BuildGraph(spans []Span) Graph {
+	type edgeAgg struct{ calls, retries, errors int }
 	byID := map[SpanID]Span{}
 	parents := map[string]int{}
-	edgeCalls := map[[2]string]int{}
+	edges := map[[2]string]*edgeAgg{}
 	services := map[string]bool{}
 	roots := map[string]bool{}
 	for _, s := range spans {
@@ -126,19 +140,32 @@ func BuildGraph(spans []Span) Graph {
 			roots[s.Service] = true
 			continue
 		}
-		edgeCalls[[2]string{p.Service, s.Service}]++
+		key := [2]string{p.Service, s.Service}
+		agg := edges[key]
+		if agg == nil {
+			agg = &edgeAgg{}
+			edges[key] = agg
+		}
+		agg.calls++
+		if s.Attempt > 0 || s.Hedged {
+			agg.retries++
+		}
+		if s.Failed {
+			agg.errors++
+		}
 	}
 	var g Graph
 	for svc := range services {
 		g.Services = append(g.Services, svc)
 	}
 	sortStrings(g.Services)
-	for pair, n := range edgeCalls {
+	for pair, agg := range edges {
 		prob := 0.0
 		if pn := parents[pair[0]]; pn > 0 {
-			prob = float64(n) / float64(pn)
+			prob = float64(agg.calls) / float64(pn)
 		}
-		g.Edges = append(g.Edges, Edge{From: pair[0], To: pair[1], Calls: n, Prob: prob})
+		g.Edges = append(g.Edges, Edge{From: pair[0], To: pair[1], Calls: agg.calls,
+			Prob: prob, Retries: agg.retries, Errors: agg.errors})
 	}
 	sortEdges(g.Edges)
 	for svc := range roots {

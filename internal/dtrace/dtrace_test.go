@@ -154,3 +154,60 @@ func TestBuildGraphLayeredProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBuildGraphDegradedEdges round-trips resilience tags through graph
+// reconstruction: retried, hedged, and failed child invocations must
+// aggregate onto the right parent→child edge without disturbing attribution
+// on healthy edges.
+func TestBuildGraphDegradedEdges(t *testing.T) {
+	c := NewCollector(1)
+	tr := c.StartTrace()
+	root := Span{Trace: tr, ID: c.NextSpanID(), Service: "frontend"}
+	c.Record(root)
+
+	// frontend → compose: first delivery fails, retry succeeds, plus one
+	// hedged duplicate of the retry.
+	compose0 := Span{Trace: tr, ID: c.NextSpanID(), Parent: root.ID,
+		Service: "compose", Attempt: 0, Failed: true}
+	compose1 := Span{Trace: tr, ID: c.NextSpanID(), Parent: root.ID,
+		Service: "compose", Attempt: 1}
+	composeH := Span{Trace: tr, ID: c.NextSpanID(), Parent: root.ID,
+		Service: "compose", Attempt: 1, Hedged: true}
+	c.Record(compose0)
+	c.Record(compose1)
+	c.Record(composeH)
+
+	// compose → storage: one clean invocation under the successful retry.
+	storage := Span{Trace: tr, ID: c.NextSpanID(), Parent: compose1.ID,
+		Service: "storage"}
+	c.Record(storage)
+
+	g := BuildGraph(c.Spans())
+	if !g.IsAcyclic() {
+		t.Fatal("degraded graph should stay acyclic")
+	}
+	edges := map[[2]string]Edge{}
+	for _, e := range g.Edges {
+		edges[[2]string{e.From, e.To}] = e
+	}
+	fc, ok := edges[[2]string{"frontend", "compose"}]
+	if !ok {
+		t.Fatal("frontend→compose edge missing")
+	}
+	if fc.Calls != 3 || fc.Retries != 2 || fc.Errors != 1 {
+		t.Fatalf("frontend→compose = %+v, want Calls=3 Retries=2 Errors=1", fc)
+	}
+	cs, ok := edges[[2]string{"compose", "storage"}]
+	if !ok {
+		t.Fatal("compose→storage edge missing")
+	}
+	if cs.Calls != 1 || cs.Retries != 0 || cs.Errors != 0 {
+		t.Fatalf("compose→storage = %+v, want clean single call", cs)
+	}
+	if _, crossed := edges[[2]string{"frontend", "storage"}]; crossed {
+		t.Fatal("storage call attributed to the wrong parent")
+	}
+	if len(g.Roots) != 1 || g.Roots[0] != "frontend" {
+		t.Fatalf("roots = %v", g.Roots)
+	}
+}

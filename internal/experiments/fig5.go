@@ -61,7 +61,7 @@ type Options struct {
 	CellFilter *regexp.Regexp
 	// Progress, when set, observes cell completions (e.g. for a stderr
 	// ticker). It must not write to the figure writer.
-	Progress func(done, total int, r runner.CellResult)
+	Progress func(done, total, failed int, r runner.CellResult)
 }
 
 // DefaultOptions returns bench-grade settings.

@@ -41,3 +41,46 @@ func TestFigureOutputIdenticalAcrossPoolWidths(t *testing.T) {
 		t.Fatalf("results differ between pool widths:\n%+v\nvs\n%+v", resSerial, resWide)
 	}
 }
+
+// TestFigFOutputIdenticalAcrossPoolWidths extends the determinism guarantee
+// to the fault-injection figure: chaos-plane events (crashes, partitions,
+// seeded packet loss, CPU throttling) and the resilience layer's retries,
+// hedges, and breaker trips must replay byte-identically at any pool width.
+func TestFigFOutputIdenticalAcrossPoolWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline run; skipped in -short")
+	}
+	run := func(parallel int) ([]byte, FigFResult) {
+		opt := Options{
+			Windows:   Windows{Warmup: 10 * sim.Millisecond, Measure: 50 * sim.Millisecond},
+			TuneIters: 0,
+			Seed:      3,
+			Parallel:  parallel,
+		}
+		var buf bytes.Buffer
+		res := RunFigF(&buf, opt, 600)
+		return buf.Bytes(), res
+	}
+	outSerial, resSerial := run(1)
+	outWide, resWide := run(8)
+	if len(resSerial.Points) < 12 {
+		t.Fatalf("serial run produced %d points, want >= 12 (6+ scenarios x 2 variants)",
+			len(resSerial.Points))
+	}
+	if !bytes.Equal(outSerial, outWide) {
+		t.Fatalf("figF output differs between -parallel 1 and -parallel 8:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s",
+			outSerial, outWide)
+	}
+	if !reflect.DeepEqual(resSerial, resWide) {
+		t.Fatalf("figF results differ between pool widths:\n%+v\nvs\n%+v", resSerial, resWide)
+	}
+	faulted := 0
+	for _, pt := range resSerial.Points {
+		if pt.Scenario != "baseline" && (pt.ErrRate > 0 || pt.Dropped > 0 || pt.P99Ms > 0) {
+			faulted++
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("no fault scenario produced any observable effect")
+	}
+}

@@ -24,13 +24,25 @@ func SNMix() []loadgen.MixEntry {
 // SNEnv is a deployed Social Network (original or synthetic) with its
 // client machine.
 type SNEnv struct {
-	Env       *Env
-	Machines  []*platform.Machine
-	Frontend  *platform.Machine
-	Port      int
-	TierProc  func(name string) *kernel.Proc
+	Env      *Env
+	Machines []*platform.Machine
+	Frontend *platform.Machine
+	Port     int
+	TierProc func(name string) *kernel.Proc
+	// Tiers maps logical (original) tier names to the deployed tiers — the
+	// synthetic deployment is keyed by the original name it stands in for,
+	// so one fault scenario addresses both deployments identically.
+	Tiers     map[string]*app.Tier
+	Order     []string
 	Collector *dtrace.Collector
 	original  *app.SocialNetwork
+}
+
+// SetResilience installs one RPC resilience policy on every tier.
+func (d *SNEnv) SetResilience(r *app.Resilience) {
+	for _, t := range d.Tiers {
+		t.Cfg.Resilience = r
+	}
 }
 
 // NewOriginalSN deploys the original Social Network over nodes machines of
@@ -57,6 +69,8 @@ func NewOriginalSN(spec platform.Spec, nodes int, coresPer int, seed int64) *SNE
 			}
 			return nil
 		},
+		Tiers:     sn.Tiers,
+		Order:     append([]string(nil), sn.Order...),
 		Collector: sn.Collector,
 		original:  sn,
 	}
@@ -223,6 +237,8 @@ func NewSynthSN(clone *SNClone, spec platform.Spec, nodes, coresPer int, seed in
 	return &SNEnv{Env: env, Machines: machines,
 		Frontend: fe.Machine(), Port: fe.Cfg.Port,
 		TierProc:  func(name string) *kernel.Proc { return procs[name] },
+		Tiers:     reg.tiers,
+		Order:     append([]string(nil), clone.Order...),
 		Collector: collector,
 	}
 }

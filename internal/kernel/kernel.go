@@ -63,6 +63,11 @@ type Kernel struct {
 	// Network.
 	fabric    Fabric
 	listeners map[int]*Listener
+	// sides registers every connection side homed on this kernel so that
+	// KillProc can close a dead process's sockets. Without it a crashed
+	// tier's connections would keep queueing inbound messages forever —
+	// the same class of stale shared state as a dead process's listener.
+	sides []*connSide
 
 	// Observation (the SystemTap surface).
 	sysObs    []func(SyscallEvent)
@@ -178,13 +183,25 @@ type Thread struct {
 	resume chan struct{}
 	parked bool
 	done   bool
+	killed bool
 
 	Spawned     sim.Time
 	Exited      sim.Time
 	CtxSwitches uint64
 	lastWakeSrc string
 
-	tail [1]isa.Instr // reusable payload-copy instruction
+	tail    [1]isa.Instr // reusable payload-copy instruction
+	timerFn func()       // reusable timer-wake closure (Sleep, RecvTimeout)
+}
+
+// wakeTimer returns the thread's reusable timer-wake closure, building it on
+// first use. Timer-driven waits (Sleep, RecvTimeout) fire constantly on the
+// RPC hot path; sharing one closure keeps them allocation-free.
+func (t *Thread) wakeTimer() func() {
+	if t.timerFn == nil {
+		t.timerFn = func() { t.k.wake(t, "timer") }
+	}
+	return t.timerFn
 }
 
 // Spawn creates a thread in p running fn. It may be called from setup code
@@ -234,7 +251,7 @@ func (t *Thread) park() {
 	t.parked = true
 	t.k.parkCh <- struct{}{}
 	<-t.resume
-	if t.k.stopping {
+	if t.k.stopping || t.killed {
 		panic(threadKilled{})
 	}
 }
@@ -260,6 +277,32 @@ func (k *Kernel) wake(t *Thread, source string) {
 	k.emitThread(ThreadEvent{Time: k.eng.Now(), TID: t.ID, Proc: t.Proc.Name,
 		Thread: t.Name, Kind: ThreadWake, Source: source})
 	k.eng.AfterFunc(0, func() { k.dispatch(t) })
+}
+
+// KillProc terminates every thread of p (a process crash), unbinds its
+// listeners, and closes its connection sides so inbound messages stop
+// queueing. It must be called from an engine event (e.g. a fault plane
+// action), never from a simulated thread of p itself. The process object
+// survives: counters remain readable and new threads may be spawned into it
+// later — a container restart.
+func (k *Kernel) KillProc(p *Proc) {
+	for port, l := range k.listeners {
+		if l.proc == p {
+			delete(k.listeners, port)
+		}
+	}
+	for _, s := range k.sides {
+		if s.proc == p && !s.closed {
+			s.closed = true
+			s.inbox = nil
+		}
+	}
+	for _, t := range k.threads {
+		if t.Proc == p && !t.done {
+			t.killed = true
+			k.wake(t, "kill")
+		}
+	}
 }
 
 // Stop terminates all simulated threads. Call it after the measurement
@@ -380,7 +423,7 @@ func (t *Thread) Run(stream []isa.Instr) cpu.Result {
 func (t *Thread) Sleep(d sim.Time) {
 	t.syscallEnter(SysNanosleep, 0, "")
 	deadline := t.k.eng.Now() + d
-	t.k.eng.ScheduleFunc(deadline, func() { t.k.wake(t, "timer") })
+	t.k.eng.ScheduleFunc(deadline, t.wakeTimer())
 	for t.k.eng.Now() < deadline {
 		t.park()
 	}

@@ -41,9 +41,15 @@ func (e *Endpoint) Kernel() *Kernel { return e.mine.k }
 // Pending reports queued, undelivered-to-app messages.
 func (e *Endpoint) Pending() int { return len(e.mine.inbox) }
 
+// Dead reports whether either side of the connection has been closed — the
+// signal a resilient client uses to discard a cached connection to a crashed
+// peer and re-dial.
+func (e *Endpoint) Dead() bool { return e.mine.closed || e.peer.closed }
+
 // Listener accepts incoming connections on a port.
 type Listener struct {
 	k       *Kernel
+	proc    *Proc // owning process; KillProc unbinds its listeners
 	Port    int
 	backlog []*Endpoint
 	waiters []*Thread
@@ -54,14 +60,31 @@ type Listener struct {
 func (t *Thread) Listen(port int) *Listener {
 	t.syscallEnter(SysSocket, 0, "socket")
 	t.syscallEnter(SysListen, 0, "socket")
-	l := &Listener{k: t.k, Port: port}
+	l := &Listener{k: t.k, proc: t.Proc, Port: port}
 	t.k.listeners[port] = l
 	return l
 }
 
 // Connect establishes a connection from the calling thread's kernel to a
 // listener on dst:port, paying one network round trip for the handshake.
+// It retries forever while the port is unbound; use ConnectTimeout when the
+// destination may be crashed.
 func (t *Thread) Connect(dst *Kernel, port int) *Endpoint {
+	return t.connect(dst, port, -1)
+}
+
+// ConnectTimeout is Connect with a bounded bind wait: it returns nil when
+// no listener claims dst:port within d — how a resilient client observes a
+// crashed-and-not-yet-restarted server.
+func (t *Thread) ConnectTimeout(dst *Kernel, port int, d sim.Time) *Endpoint {
+	if d < 0 {
+		d = 0
+	}
+	return t.connect(dst, port, t.k.eng.Now()+d)
+}
+
+// connect implements Connect/ConnectTimeout; deadline < 0 retries forever.
+func (t *Thread) connect(dst *Kernel, port int, deadline sim.Time) *Endpoint {
 	t.syscallEnter(SysSocket, 0, "socket")
 	t.syscallEnter(SysConnect, 0, "socket")
 	k := t.k
@@ -69,11 +92,20 @@ func (t *Thread) Connect(dst *Kernel, port int) *Endpoint {
 	// as real clients do at startup).
 	l := dst.listeners[port]
 	for l == nil {
-		t.Sleep(200 * sim.Microsecond)
+		if deadline >= 0 && k.eng.Now() >= deadline {
+			return nil
+		}
+		wait := 200 * sim.Microsecond
+		if deadline >= 0 && k.eng.Now()+wait > deadline {
+			wait = deadline - k.eng.Now()
+		}
+		t.Sleep(wait)
 		l = dst.listeners[port]
 	}
 	a := &connSide{k: k, proc: t.Proc}
 	b := &connSide{k: dst}
+	k.sides = append(k.sides, a)
+	dst.sides = append(dst.sides, b)
 	a.peer, b.peer = b, a
 	client := &Endpoint{mine: a, peer: b}
 	server := &Endpoint{mine: b, peer: a}
@@ -84,14 +116,14 @@ func (t *Thread) Connect(dst *Kernel, port int) *Endpoint {
 	if path.Loopback {
 		rtt = netsim.LoopbackRTT
 	}
-	deadline := k.eng.Now() + rtt
-	k.eng.ScheduleFunc(deadline, func() {
+	done := k.eng.Now() + rtt
+	k.eng.ScheduleFunc(done, func() {
 		l.backlog = append(l.backlog, server)
 		wakeAll(l.k, &l.waiters, "socket")
 		notifyEpolls(l.k, l.epolls)
 		k.wake(t, "socket")
 	})
-	for k.eng.Now() < deadline {
+	for k.eng.Now() < done {
 		t.park()
 	}
 	return client
@@ -155,6 +187,30 @@ func (t *Thread) Recv(e *Endpoint) Msg {
 	side.inbox = side.inbox[1:]
 	t.syscallEnter(SysRecv, msg.Bytes, "socket")
 	return msg
+}
+
+// RecvTimeout blocks until a message arrives or d elapses, whichever comes
+// first. ok is false on timeout and when either side of the connection is
+// closed (a crashed peer fails the receive immediately rather than hanging
+// for the full timeout). The recv syscall is charged either way.
+func (t *Thread) RecvTimeout(e *Endpoint, d sim.Time) (Msg, bool) {
+	side := e.mine
+	if len(side.inbox) == 0 {
+		deadline := t.k.eng.Now() + d
+		t.k.eng.ScheduleFunc(deadline, t.wakeTimer())
+		for len(side.inbox) == 0 {
+			if side.closed || side.peer.closed || t.k.eng.Now() >= deadline {
+				t.syscallEnter(SysRecv, 0, "socket")
+				return Msg{}, false
+			}
+			side.waiters = append(side.waiters, t)
+			t.park()
+		}
+	}
+	msg := side.inbox[0]
+	side.inbox = side.inbox[1:]
+	t.syscallEnter(SysRecv, msg.Bytes, "socket")
+	return msg, true
 }
 
 // TryRecv returns a queued message without blocking. ok is false when the

@@ -42,6 +42,7 @@ type Generator struct {
 	lat       stats.Recorder // milliseconds
 	sent      int
 	received  int
+	failed    int
 	connected int
 	mixPick   *stats.Categorical
 	rng       *stats.Rand
@@ -79,10 +80,15 @@ func (g *Generator) Sent() int { return g.sent }
 // Received reports responses received since the last Reset.
 func (g *Generator) Received() int { return g.received }
 
+// Failed reports responses that came back marked degraded (shed, or a lost
+// downstream dependency) since the last Reset. Failed responses are counted
+// in Received but excluded from the latency distribution.
+func (g *Generator) Failed() int { return g.failed }
+
 // Reset clears measurement state (end of warmup).
 func (g *Generator) Reset() {
 	g.lat.Reset()
-	g.sent, g.received = 0, 0
+	g.sent, g.received, g.failed = 0, 0, 0
 }
 
 // Start spawns the client threads. Connections are established first; load
@@ -166,5 +172,9 @@ func (g *Generator) recordResponse(th *kernel.Thread, msg kernel.Msg) {
 		return
 	}
 	g.received++
+	if req.Failed {
+		g.failed++
+		return
+	}
 	g.lat.Add((th.Now() - req.SentAt).Millis())
 }

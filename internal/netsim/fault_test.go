@@ -1,0 +1,110 @@
+package netsim
+
+import (
+	"testing"
+
+	"ditto/internal/sim"
+)
+
+func TestLinkFaultPartition(t *testing.T) {
+	eng := sim.NewEngine()
+	src, dst := NewNIC(eng, 10), NewNIC(eng, 10)
+	f := NewLinkFault(1)
+	f.Down = true
+	p := Path{Src: src, Dst: dst, RTT: 100 * sim.Microsecond, Fault: f}
+	delivered := false
+	Send(eng, p, 1000, func() { delivered = true })
+	eng.Run()
+	if delivered {
+		t.Fatal("partitioned link delivered a message")
+	}
+	if src.TxBytes != 1000 {
+		t.Fatal("sender NIC should still be charged: the packet left the host")
+	}
+	if dst.RxBytes != 0 || dst.RxMsgs != 0 {
+		t.Fatal("receiver NIC booked a blackholed message")
+	}
+	if f.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", f.Dropped)
+	}
+}
+
+func TestLinkFaultDelaySpike(t *testing.T) {
+	eng := sim.NewEngine()
+	src, dst := NewNIC(eng, 10), NewNIC(eng, 10)
+	f := NewLinkFault(1)
+	f.ExtraOne = 2 * sim.Millisecond
+	p := Path{Src: src, Dst: dst, RTT: 100 * sim.Microsecond, Fault: f}
+	var at sim.Time
+	Send(eng, p, 125000, func() { at = eng.Now() })
+	eng.Run()
+	want := 150*sim.Microsecond + 2*sim.Millisecond
+	if at != want {
+		t.Fatalf("arrival = %v, want %v", at, want)
+	}
+}
+
+// TestLinkFaultLossDeterminism checks that the loss stream is a pure function
+// of the seed: same seed → identical drop pattern, different seed → (almost
+// surely) a different one.
+func TestLinkFaultLossDeterminism(t *testing.T) {
+	pattern := func(seed uint64) []bool {
+		eng := sim.NewEngine()
+		f := NewLinkFault(seed)
+		f.LossProb = 0.3
+		p := Path{Src: NewNIC(eng, 10), Dst: NewNIC(eng, 10), RTT: 0, Fault: f}
+		var drops []bool
+		for i := 0; i < 64; i++ {
+			hit := false
+			Send(eng, p, 100, func() { hit = true })
+			eng.Run()
+			drops = append(drops, !hit)
+		}
+		return drops
+	}
+	a, b, c := pattern(42), pattern(42), pattern(44)
+	some := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at message %d", i)
+		}
+		if a[i] != c[i] {
+			some = true
+		}
+	}
+	if !some {
+		t.Fatal("different seeds produced identical 64-message drop patterns")
+	}
+}
+
+// TestLinkFaultHealthyNoRNG checks a healthy (or cleared) fault never
+// advances its RNG, so attaching fault cells to every link leaves fault-free
+// runs byte-identical.
+func TestLinkFaultHealthyNoRNG(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewLinkFault(7)
+	before := f.rng
+	p := Path{Src: NewNIC(eng, 10), Dst: NewNIC(eng, 10), RTT: 0, Fault: f}
+	for i := 0; i < 10; i++ {
+		Send(eng, p, 100, nil)
+	}
+	eng.Run()
+	if f.rng != before {
+		t.Fatal("healthy link consumed loss-stream randomness")
+	}
+	f.LossProb = 0.5
+	Send(eng, p, 100, nil)
+	if f.rng == before {
+		t.Fatal("lossy link should consume the stream")
+	}
+	f.Clear()
+	mid := f.rng
+	Send(eng, p, 100, nil)
+	eng.Run()
+	if f.rng != mid {
+		t.Fatal("cleared link should stop consuming the stream")
+	}
+	if f.Down || f.LossProb != 0 || f.ExtraOne != 0 {
+		t.Fatal("Clear should reset all fault knobs")
+	}
+}

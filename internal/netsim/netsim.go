@@ -56,6 +56,58 @@ type Path struct {
 	Src, Dst *NIC
 	RTT      sim.Time // round-trip propagation; one-way delay is RTT/2
 	Loopback bool     // same-host path: no NIC serialization, memcpy speed
+	// Fault, when non-nil, is the live fault state of this link (partition,
+	// loss, latency injection). The fabric that resolves paths owns the
+	// pointer, so a fault plane can flip a link's state mid-run and every
+	// in-flight lookup observes it.
+	Fault *LinkFault
+}
+
+// LinkFault is the mutable fault state of one link. The zero value is a
+// healthy link. Loss decisions consume the fault's own xorshift64* stream,
+// so a scenario replays bit-identically from its seed regardless of what
+// else runs in the same OS process.
+type LinkFault struct {
+	Down     bool     // partition: every message is blackholed
+	LossProb float64  // per-message drop probability
+	ExtraOne sim.Time // added one-way propagation (latency spike)
+
+	Dropped uint64 // messages blackholed or lost on this link
+	rng     uint64
+}
+
+// NewLinkFault builds a healthy link-fault cell with a seeded loss stream.
+func NewLinkFault(seed uint64) *LinkFault {
+	return &LinkFault{rng: seed | 1}
+}
+
+// Clear restores the link to health, keeping the loss stream and counters.
+func (f *LinkFault) Clear() {
+	f.Down = false
+	f.LossProb = 0
+	f.ExtraOne = 0
+}
+
+// drop decides the fate of one message. Down always drops; otherwise the
+// loss stream is consulted only when LossProb is set, so a healthy link
+// never advances the RNG and fault-free runs stay byte-identical to runs
+// without a fault plane attached.
+func (f *LinkFault) drop() bool {
+	if f.Down {
+		f.Dropped++
+		return true
+	}
+	if f.LossProb <= 0 {
+		return false
+	}
+	f.rng ^= f.rng >> 12
+	f.rng ^= f.rng << 25
+	f.rng ^= f.rng >> 27
+	if float64(f.rng*0x2545F4914F6CDD1D>>11)/float64(1<<53) < f.LossProb {
+		f.Dropped++
+		return true
+	}
+	return false
 }
 
 // LoopbackBandwidthGbps approximates kernel loopback throughput.
@@ -66,7 +118,10 @@ const LoopbackBandwidthGbps = 160
 const LoopbackRTT = 25 * sim.Microsecond
 
 // Send transports bytes along the path and invokes deliver when the message
-// arrives at the destination. It returns the arrival time.
+// arrives at the destination. It returns the arrival time. A faulted path
+// still charges the sender NIC (the packet leaves the host before the
+// network loses it), but a dropped message never reaches the destination:
+// deliver is not scheduled and the receiver NIC books nothing.
 func Send(eng *sim.Engine, p Path, bytes int, deliver func()) sim.Time {
 	if bytes < 0 {
 		bytes = 0
@@ -78,6 +133,12 @@ func Send(eng *sim.Engine, p Path, bytes int, deliver func()) sim.Time {
 	} else {
 		wireDone := p.Src.serialize(bytes)
 		arrive = wireDone + p.RTT/2
+	}
+	if p.Fault != nil {
+		arrive += p.Fault.ExtraOne
+		if p.Fault.drop() {
+			return arrive
+		}
 	}
 	if p.Dst != nil {
 		p.Dst.RxBytes += uint64(bytes)

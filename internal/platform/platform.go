@@ -190,6 +190,15 @@ func NewMachine(eng *sim.Engine, name string, spec Spec, opts ...Option) *Machin
 	return m
 }
 
+// SetCPUThrottle scales every core's effective clock (1 = full speed,
+// 0.5 = half). A fault plane uses it to model a slow replica: the machine
+// keeps executing the same instruction streams, each just takes longer.
+func (m *Machine) SetCPUThrottle(f float64) {
+	for _, c := range m.Cores {
+		c.SetThrottle(f)
+	}
+}
+
 // scaleBytes scales a capacity while keeping it a valid multiple of the
 // associativity times the line size.
 func scaleBytes(bytes int, frac float64, assoc int) int {

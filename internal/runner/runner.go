@@ -150,7 +150,9 @@ type Options struct {
 	Parallel int
 	// Progress, when set, observes each cell completion (called from the
 	// coordinating goroutine, in completion order, never concurrently).
-	Progress func(done, total int, r CellResult)
+	// failed is the cumulative count of cells so far whose Err is set —
+	// returned errors and captured panics both count.
+	Progress func(done, total, failed int, r CellResult)
 }
 
 // Run executes the plan and returns one result per cell in plan order.
@@ -183,7 +185,7 @@ func Run(w io.Writer, p *Plan, opt Options) []CellResult {
 		}
 	}
 
-	completed := 0
+	completed, failed := 0, 0
 	for lo := 0; lo < len(p.cells); {
 		hi := lo
 		for hi < len(p.cells) && p.cells[hi].stage == p.cells[lo].stage {
@@ -230,8 +232,11 @@ func Run(w io.Writer, p *Plan, opt Options) []CellResult {
 			done[msg.idx] = true
 			flush()
 			completed++
+			if msg.res.Err != nil {
+				failed++
+			}
 			if opt.Progress != nil {
-				opt.Progress(completed, total, msg.res)
+				opt.Progress(completed, total, failed, msg.res)
 			}
 		}
 		flush()

@@ -163,14 +163,39 @@ func TestProgressCounts(t *testing.T) {
 	}
 	p.Filter(regexp.MustCompile(`c/[0-3]`))
 	var calls []int
-	Run(io.Discard, p, Options{Parallel: 2, Progress: func(done, total int, r CellResult) {
+	Run(io.Discard, p, Options{Parallel: 2, Progress: func(done, total, failed int, r CellResult) {
 		if total != 4 {
 			t.Fatalf("total = %d", total)
+		}
+		if failed != 0 {
+			t.Fatalf("failed = %d on an all-green plan", failed)
 		}
 		calls = append(calls, done)
 	}})
 	if len(calls) != 4 || calls[len(calls)-1] != 4 {
 		t.Fatalf("progress calls = %v", calls)
+	}
+}
+
+// TestProgressFailedCounts checks the cumulative failure count surfaces both
+// returned errors and captured panics.
+func TestProgressFailedCounts(t *testing.T) {
+	p := NewPlan()
+	p.Add("ok/1", func(io.Writer) (any, error) { return nil, nil })
+	p.Add("err/1", func(io.Writer) (any, error) { return nil, fmt.Errorf("boom") })
+	p.Add("panic/1", func(io.Writer) (any, error) { panic("bang") })
+	p.Add("ok/2", func(io.Writer) (any, error) { return nil, nil })
+	var last int
+	perCell := map[string]bool{}
+	Run(io.Discard, p, Options{Parallel: 1, Progress: func(done, total, failed int, r CellResult) {
+		last = failed
+		perCell[r.Name] = r.Err != nil
+	}})
+	if last != 2 {
+		t.Fatalf("final failed = %d, want 2 (one error + one panic)", last)
+	}
+	if perCell["ok/1"] || perCell["ok/2"] || !perCell["err/1"] || !perCell["panic/1"] {
+		t.Fatalf("per-cell error flags = %v", perCell)
 	}
 }
 
