@@ -10,7 +10,11 @@ import (
 	"time"
 
 	"ditto/internal/app"
+	"ditto/internal/cache"
+	"ditto/internal/cpu"
 	"ditto/internal/experiments"
+	"ditto/internal/isa"
+	"ditto/internal/runner"
 	"ditto/internal/sim"
 )
 
@@ -37,11 +41,20 @@ type benchReport struct {
 	// quick windows): chaos plane + resilient RPC end to end.
 	FaultCell benchStat `json:"fault_cell"`
 
-	// Wall clock of the fig11 grid at pool width 1 vs GOMAXPROCS.
-	GridSerialSec   float64 `json:"grid_serial_sec"`
-	GridParallelSec float64 `json:"grid_parallel_sec"`
-	GridWidth       int     `json:"grid_width"`
-	Speedup         float64 `json:"speedup"`
+	// Request-stream emission: fresh per-request generation vs serving a
+	// pregenerated rotating variant, and the decoded-trace dynamic pass.
+	EmitUncached benchStat `json:"emit_uncached"`
+	EmitCached   benchStat `json:"emit_cached"`
+	ExecuteTrace benchStat `json:"execute_trace"`
+
+	// Wall clock of the fig11 grid at pool width 1 vs the actual worker-pool
+	// width used for the parallel run. Speedup is omitted when that width is
+	// 1: the two runs are then the same configuration and the ratio would be
+	// pure noise.
+	GridSerialSec   float64  `json:"grid_serial_sec"`
+	GridParallelSec float64  `json:"grid_parallel_sec,omitempty"`
+	GridWidth       int      `json:"grid_width"`
+	Speedup         *float64 `json:"speedup,omitempty"`
 }
 
 type benchStat struct {
@@ -128,23 +141,56 @@ func writeBenchJSON(path string, opt experiments.Options) error {
 		}
 	}))
 
-	width := runtime.GOMAXPROCS(0)
+	fmt.Fprintln(os.Stderr, "bench: request-stream emission (uncached vs cached) and decoded-trace pass")
+	body := benchBody()
+	rep.EmitUncached = statOf(testing.Benchmark(func(b *testing.B) {
+		var buf []isa.Instr
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = body.EmitRequest(0, buf[:0])
+		}
+	}))
+	cache := app.NewStreamCache(body)
+	cache.Next(0)
+	rep.EmitCached = statOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			cache.Next(0)
+		}
+	}))
+	rep.ExecuteTrace = statOf(testing.Benchmark(func(b *testing.B) {
+		core := benchCore()
+		tr := cache.Next(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			core.ExecuteTrace(tr)
+		}
+	}))
+
+	width := runner.EffectiveWidth(0)
 	fmt.Fprintf(os.Stderr, "bench: fig11 corner grid, pool width 1 vs %d\n", width)
-	// The heatmap's four corners keep the artifact quick to regenerate; on a
-	// single-core host the speedup is honestly ~1x (cells are CPU-bound).
+	// The heatmap's four corners keep the artifact quick to regenerate.
 	cores, freqs := []int{4, 16}, []float64{1.1, 2.1}
 	gridOpt := opt
 	gridOpt.Parallel = 1
 	t0 := time.Now()
 	experiments.RunFig11(discard{}, gridOpt, cores, freqs)
 	rep.GridSerialSec = time.Since(t0).Seconds()
-	gridOpt.Parallel = width
-	t0 = time.Now()
-	experiments.RunFig11(discard{}, gridOpt, cores, freqs)
-	rep.GridParallelSec = time.Since(t0).Seconds()
 	rep.GridWidth = width
-	if rep.GridParallelSec > 0 {
-		rep.Speedup = rep.GridSerialSec / rep.GridParallelSec
+	if width > 1 {
+		gridOpt.Parallel = width
+		t0 = time.Now()
+		experiments.RunFig11(discard{}, gridOpt, cores, freqs)
+		rep.GridParallelSec = time.Since(t0).Seconds()
+		if rep.GridParallelSec > 0 {
+			s := rep.GridSerialSec / rep.GridParallelSec
+			rep.Speedup = &s
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "bench: pool width is 1; skipping the parallel run and omitting speedup")
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")
@@ -155,9 +201,39 @@ func writeBenchJSON(path string, opt experiments.Options) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %s (speedup %.2fx, allocs/op %0.f -> %.0f)\n",
-		path, rep.Speedup, rep.EngineAfter.AllocsOp, rep.EngineAfterFunc.AllocsOp)
+	speedup := "n/a (width 1)"
+	if rep.Speedup != nil {
+		speedup = fmt.Sprintf("%.2fx at width %d", *rep.Speedup, rep.GridWidth)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s (speedup %s, allocs/op %0.f -> %.0f)\n",
+		path, speedup, rep.EngineAfter.AllocsOp, rep.EngineAfterFunc.AllocsOp)
 	return nil
+}
+
+// benchBody is the emission workload for the stream benchmarks: one
+// parse-like phase with jittered length, the shape every app handler emits.
+func benchBody() *app.PhaseBody {
+	ph := app.NewPhase(app.PhaseSpec{
+		Name: "bench-parse", MeanInstrs: 5000, JitterPct: 0.2, FootprintBytes: 16 << 10,
+		Weights:     app.ClassWeights{Load: 0.3, Store: 0.1, ALU: 0.6},
+		BranchFrac:  0.15,
+		Branches:    []app.BranchMN{{M: 1, N: 2, Weight: 1}},
+		WorkingSets: []app.WorkingSet{{Bytes: 4096, Frac: 0.5}, {Bytes: 1 << 20, Frac: 0.5}},
+		RegularFrac: 0.5, DepChain: 2,
+	}, 0x400000, 0x10000000, 7)
+	return &app.PhaseBody{Phases: []*app.Phase{ph}}
+}
+
+// benchCore is a lone Skylake-like core with a private cache hierarchy for
+// the decoded-trace benchmark.
+func benchCore() *cpu.Core {
+	l3 := cache.New(cache.Config{Name: "l3", Size: 8 << 20, Assoc: 16, Latency: 40, Policy: cache.PLRU})
+	l1i := cache.New(cache.Config{Name: "l1i", Size: 32 << 10, Assoc: 8, Latency: 4, Policy: cache.LRU})
+	l1d := cache.New(cache.Config{Name: "l1d", Size: 32 << 10, Assoc: 8, Latency: 4, Policy: cache.LRU})
+	l2 := cache.New(cache.Config{Name: "l2", Size: 256 << 10, Assoc: 8, Latency: 12, Policy: cache.LRU})
+	return cpu.NewCore(cpu.Config{Arch: cpu.Skylake, FreqGHz: 2,
+		ICache: &cache.Hierarchy{Caches: [3]*cache.Cache{l1i, l2, l3}, MemLatency: 200},
+		DCache: &cache.Hierarchy{Caches: [3]*cache.Cache{l1d, l2, l3}, MemLatency: 200}})
 }
 
 // discard is an io.Writer sink; the bench mode measures work, not output.

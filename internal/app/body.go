@@ -65,12 +65,14 @@ const (
 	slotRep
 )
 
-// slot is one static instruction in a phase's code.
+// slot is one static instruction in a phase's code. The branch state is
+// embedded by value so laying out a phase costs one slots allocation, not
+// one per conditional branch.
 type slot struct {
 	tmpl    isa.Instr
 	kind    slotKind
-	bb      *branch.BitmaskBranch
-	target  int // branch target slot
+	bb      branch.BitmaskBranch // valid only when kind == slotBranch
+	target  int                  // branch target slot
 	wsIdx   int
 	regular bool
 }
@@ -146,7 +148,7 @@ func NewPhase(spec PhaseSpec, codeBase, dataBase uint64, seed int64) *Phase {
 		if ph.rng.Float64() < spec.BranchFrac {
 			mn := spec.Branches[brPick.Sample(ph.rng)]
 			s.kind = slotBranch
-			s.bb = branch.NewBitmaskBranch(mn.M, mn.N)
+			s.bb = branch.MakeBitmaskBranch(mn.M, mn.N)
 			s.bb.SetPhase(ph.rng.Uint64() % (1 << 11)) // de-align periods
 			s.tmpl = isa.Instr{Op: isa.JCC, PC: pc,
 				BranchID: int32(i), Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone}

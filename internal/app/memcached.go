@@ -20,6 +20,7 @@ type Memcached struct {
 
 	parse, lookup, respond []*Phase // per worker
 	insert                 []*Phase // per worker, SET path
+	streams                []*StreamCache
 }
 
 // Request kinds Memcached understands.
@@ -81,6 +82,10 @@ func NewMemcachedN(m *platform.Machine, port, workers int, seed int64) *Memcache
 			WorkingSets: []WorkingSet{{Bytes: storeBytes, Frac: 1}},
 			RegularFrac: 0.9, DepChain: 2, RepBytes: mc.ValueBytes,
 		}, code+2<<20, data+2<<20, s+2))
+		mc.streams = append(mc.streams, NewPhaseChainCache(map[int][]*Phase{
+			MemcachedGet: {mc.parse[w], mc.lookup[w], mc.respond[w]},
+			MemcachedSet: {mc.parse[w], mc.lookup[w], mc.insert[w]},
+		}))
 	}
 	return mc
 }
@@ -129,15 +134,10 @@ func (mc *Memcached) handle(th *kernel.Thread, w int, conn *kernel.Endpoint, msg
 	if req, ok := msg.Payload.(*Request); ok {
 		kind = req.Kind
 	}
-	stream := mc.parse[w].Emit(nil, 1)
-	stream = mc.lookup[w].Emit(stream, 1)
+	th.RunTrace(mc.streams[w].Next(kind))
 	if kind == MemcachedSet {
-		stream = mc.insert[w].Emit(stream, 1)
-		th.Run(stream)
 		echo(th, conn, msg, 32) // "STORED"
 		return
 	}
-	stream = mc.respond[w].Emit(stream, 1)
-	th.Run(stream)
 	echo(th, conn, msg, mc.ValueBytes+66)
 }

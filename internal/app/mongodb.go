@@ -21,7 +21,15 @@ type MongoDB struct {
 	parse, btree, serialize *Phase
 	offRng                  *stats.Rand
 	file                    *kernel.File
+	streams                 *StreamCache
 }
+
+// MongoDB stream-cache kinds: the pre-I/O segment (parse + B-tree walk) and
+// the post-I/O serialization.
+const (
+	mongoPre  = 0
+	mongoPost = 1
+)
 
 // NewMongoDB builds a MongoDB instance with its 40GB dataset.
 func NewMongoDB(m *platform.Machine, port int, seed int64) *MongoDB {
@@ -59,6 +67,10 @@ func NewMongoDB(m *platform.Machine, port int, seed int64) *MongoDB {
 		WorkingSets: []WorkingSet{{Bytes: 512 << 10, Frac: 1}},
 		RegularFrac: 0.8, DepChain: 2, RepBytes: 4096,
 	}, code+2<<20, data+2<<29, seed+2)
+	db.streams = NewPhaseChainCache(map[int][]*Phase{
+		mongoPre:  {db.parse, db.btree},
+		mongoPost: {db.serialize},
+	})
 	return db
 }
 
@@ -74,9 +86,7 @@ func (db *MongoDB) Start() {
 // handle serves one YCSB read: parse, index walk, pread at a uniformly
 // random offset, serialize, respond.
 func (db *MongoDB) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.Msg) {
-	stream := db.parse.Emit(nil, 1)
-	stream = db.btree.Emit(stream, 1)
-	th.Run(stream)
+	th.RunTrace(db.streams.Next(mongoPre))
 
 	maxOff := db.DatasetBytes - int64(db.ReadBytes)
 	off := db.offRng.Int63n(maxOff/kernel.PageBytes) * kernel.PageBytes
@@ -84,6 +94,6 @@ func (db *MongoDB) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.M
 	th.Pread(fd, db.ReadBytes, off)
 	th.CloseFD(fd)
 
-	th.Run(db.serialize.Emit(nil, 1))
+	th.RunTrace(db.streams.Next(mongoPost))
 	echo(th, conn, msg, db.RespBytes)
 }

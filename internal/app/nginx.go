@@ -19,7 +19,16 @@ type Nginx struct {
 
 	parse, filePhase, respond *Phase
 	rrFile                    int
+	names                     []string // content file names, built once at Start
+	streams                   *StreamCache
 }
+
+// Nginx stream-cache kinds: the pre-I/O segment (parse + file lookup) and
+// the post-I/O response build.
+const (
+	nginxPre  = 0
+	nginxPost = 1
+)
 
 // NewNginx builds an NGINX instance serving a warm static-content set.
 func NewNginx(m *platform.Machine, port int, seed int64) *Nginx {
@@ -51,14 +60,20 @@ func NewNginx(m *platform.Machine, port int, seed int64) *Nginx {
 		WorkingSets: []WorkingSet{{Bytes: 1 << 20, Frac: 1}},
 		RegularFrac: 0.85, DepChain: 2, RepBytes: 4096,
 	}, code+2<<20, data+2<<28, seed+2)
+	n.streams = NewPhaseChainCache(map[int][]*Phase{
+		nginxPre:  {n.parse, n.filePhase},
+		nginxPost: {n.respond},
+	})
 	return n
 }
 
 // Start registers the content files (warm in the page cache, as a serving
 // steady state would have them) and launches the worker event loop.
 func (n *Nginx) Start() {
+	n.names = make([]string, n.Files)
 	for f := 0; f < n.Files; f++ {
-		file := n.M.Kernel.CreateFile(n.fileName(f), int64(n.FileBytes))
+		n.names[f] = n.fileName(f)
+		file := n.M.Kernel.CreateFile(n.names[f], int64(n.FileBytes))
 		n.M.Kernel.WarmPages(file, 0, int64(n.FileBytes/kernel.PageBytes))
 	}
 	n.P.Spawn("worker", func(th *kernel.Thread) {
@@ -71,15 +86,13 @@ func (n *Nginx) fileName(i int) string { return fmt.Sprintf("/srv/www/page-%03d.
 
 // handle serves one HTTP GET: parse, open+pread+close, respond.
 func (n *Nginx) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.Msg) {
-	stream := n.parse.Emit(nil, 1)
-	stream = n.filePhase.Emit(stream, 1)
-	th.Run(stream)
+	th.RunTrace(n.streams.Next(nginxPre))
 
 	n.rrFile = (n.rrFile + 1) % n.Files
-	fd := th.Open(n.fileName(n.rrFile))
+	fd := th.Open(n.names[n.rrFile])
 	th.Pread(fd, n.RespBytes, 0)
 	th.CloseFD(fd)
 
-	th.Run(n.respond.Emit(nil, 1))
+	th.RunTrace(n.streams.Next(nginxPost))
 	echo(th, conn, msg, n.RespBytes+200)
 }

@@ -14,6 +14,7 @@ type Redis struct {
 	ValueBytes int
 
 	parse, dict, respond, insert *Phase
+	streams                      *StreamCache
 }
 
 // Request kinds Redis understands.
@@ -66,6 +67,10 @@ func NewRedis(m *platform.Machine, port int, seed int64) *Redis {
 		},
 		RegularFrac: 0.45, PointerFrac: 0.15, DepChain: 2, RepBytes: r.ValueBytes,
 	}, code+3<<20, data+3<<27, seed+3)
+	r.streams = NewPhaseChainCache(map[int][]*Phase{
+		RedisGet: {r.parse, r.dict, r.respond},
+		RedisSet: {r.parse, r.dict, r.insert},
+	})
 	return r
 }
 
@@ -84,15 +89,10 @@ func (r *Redis) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.Msg)
 	if req, ok := msg.Payload.(*Request); ok {
 		kind = req.Kind
 	}
-	stream := r.parse.Emit(nil, 1)
-	stream = r.dict.Emit(stream, 1)
+	th.RunTrace(r.streams.Next(kind))
 	if kind == RedisSet {
-		stream = r.insert.Emit(stream, 1)
-		th.Run(stream)
 		echo(th, conn, msg, 16) // "+OK"
 		return
 	}
-	stream = r.respond.Emit(stream, 1)
-	th.Run(stream)
 	echo(th, conn, msg, r.ValueBytes+38)
 }

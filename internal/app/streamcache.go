@@ -1,0 +1,84 @@
+package app
+
+import (
+	"ditto/internal/cpu"
+	"ditto/internal/isa"
+)
+
+// StreamVariants is how many pregenerated request-stream variants rotate
+// per request kind — the kernel kstream discipline (kvariantCount) extended
+// to the user-level request path: enough variety that the branch predictor
+// cannot memorize a single pattern, cheap enough to generate once.
+const StreamVariants = 8
+
+// streamSet is the rotating pregenerated variant set for one cache key.
+type streamSet struct {
+	variants [StreamVariants]*cpu.Trace
+	next     uint8
+}
+
+// StreamCache serves pregenerated request streams for a Body. For each
+// request kind (which fixes the work scale — PhaseBody's Scale map is
+// keyed by kind) it emits StreamVariants full request streams once, decodes
+// each into a cpu.Trace, and then serves them in rotation. The steady-state
+// path is allocation-free: no emission, no decoding, no buffer growth.
+//
+// Determinism: pregeneration draws from the Body's RNGs exactly once per
+// key, at first use, in request-arrival order — which is itself
+// deterministic under the simulator's single-goroutine engine — so repeated
+// same-seed runs replay byte-identical streams. The cached traces are
+// immutable after pregeneration; serving the same trace to overlapping
+// bursts is safe for the same reason sharing kernel kstream variants is.
+type StreamCache struct {
+	body Body
+	sets map[int]*streamSet
+}
+
+// NewStreamCache wraps body in a rotating pregenerated-stream cache.
+func NewStreamCache(body Body) *StreamCache {
+	return &StreamCache{body: body, sets: map[int]*streamSet{}}
+}
+
+// Next returns the next rotating decoded variant for kind, pregenerating
+// the kind's variant set on first use.
+func (c *StreamCache) Next(kind int) *cpu.Trace {
+	s := c.sets[kind]
+	if s == nil {
+		s = &streamSet{}
+		for i := range s.variants {
+			s.variants[i] = cpu.NewTrace(c.body.EmitRequest(kind, nil))
+		}
+		c.sets[kind] = s
+	}
+	tr := s.variants[s.next]
+	s.next = (s.next + 1) % StreamVariants
+	return tr
+}
+
+// EmitRequest implements Body for callers that need a plain stream: it
+// appends a copy of the next variant to buf. The hot path should use Next
+// with Thread.RunTrace instead, which shares the cached storage.
+func (c *StreamCache) EmitRequest(kind int, buf []isa.Instr) []isa.Instr {
+	return append(buf, c.Next(kind).Stream...)
+}
+
+// phaseChainBody adapts per-kind phase chains to the Body interface, so the
+// built-in application models (memcached, nginx, redis, mongodb) can feed
+// their handler segments through a StreamCache.
+type phaseChainBody struct {
+	chains map[int][]*Phase
+}
+
+func (b phaseChainBody) EmitRequest(kind int, buf []isa.Instr) []isa.Instr {
+	for _, p := range b.chains[kind] {
+		buf = p.Emit(buf, 1)
+	}
+	return buf
+}
+
+// NewPhaseChainCache builds a StreamCache over per-kind phase chains: each
+// request kind's stream is the concatenation of one emission from each phase
+// in its chain.
+func NewPhaseChainCache(chains map[int][]*Phase) *StreamCache {
+	return NewStreamCache(phaseChainBody{chains: chains})
+}

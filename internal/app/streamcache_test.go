@@ -1,0 +1,103 @@
+package app
+
+import (
+	"testing"
+
+	"ditto/internal/isa"
+)
+
+func cacheSpec() PhaseSpec {
+	s := basicSpec()
+	s.JitterPct = 0.2 // variants must differ in length, like real requests
+	return s
+}
+
+// TestStreamCacheRotatesAndStaysStable: Next must cycle through exactly
+// StreamVariants distinct pregenerated traces and, on wrap, hand back the
+// same trace objects with byte-identical streams — the cache never
+// regenerates or mutates a variant.
+func TestStreamCacheRotatesAndStaysStable(t *testing.T) {
+	ph := NewPhase(cacheSpec(), 0x400000, 0x10000000, 7)
+	c := NewStreamCache(&PhaseBody{Phases: []*Phase{ph}})
+
+	first := make([]*isa.Instr, StreamVariants)
+	snapshots := make([][]isa.Instr, StreamVariants)
+	seen := map[*isa.Instr]bool{}
+	for i := 0; i < StreamVariants; i++ {
+		tr := c.Next(0)
+		first[i] = &tr.Stream[0]
+		if seen[first[i]] {
+			t.Fatalf("variant %d repeated before the rotation wrapped", i)
+		}
+		seen[first[i]] = true
+		snapshots[i] = append([]isa.Instr(nil), tr.Stream...)
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < StreamVariants; i++ {
+			tr := c.Next(0)
+			if &tr.Stream[0] != first[i] {
+				t.Fatalf("round %d variant %d: rotation did not wrap to the same trace", round, i)
+			}
+			if len(tr.Stream) != len(snapshots[i]) {
+				t.Fatalf("round %d variant %d: stream length changed", round, i)
+			}
+			for j := range tr.Stream {
+				if tr.Stream[j] != snapshots[i][j] {
+					t.Fatalf("round %d variant %d instr %d: cached stream mutated", round, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamCachePerKindSets: distinct kinds get distinct variant sets
+// (PhaseBody's per-kind scale must survive the cache).
+func TestStreamCachePerKindSets(t *testing.T) {
+	ph := NewPhase(basicSpec(), 0x400000, 0x10000000, 7)
+	c := NewStreamCache(&PhaseBody{Phases: []*Phase{ph}, Scale: map[int]float64{1: 0.5}})
+	full := c.Next(0)
+	half := c.Next(1)
+	if len(half.Stream) >= len(full.Stream) {
+		t.Fatalf("scaled kind should be shorter: %d vs %d", len(half.Stream), len(full.Stream))
+	}
+}
+
+// TestStreamCacheSteadyStateAllocationFree guards the serving path: once a
+// kind's variants are pregenerated, Next must not allocate.
+func TestStreamCacheSteadyStateAllocationFree(t *testing.T) {
+	ph := NewPhase(cacheSpec(), 0x400000, 0x10000000, 7)
+	c := NewStreamCache(&PhaseBody{Phases: []*Phase{ph}})
+	c.Next(0) // pregenerate
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Next(0)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Next allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkEmitRequestUncached measures fresh per-request stream emission —
+// what every request paid before the cache.
+func BenchmarkEmitRequestUncached(b *testing.B) {
+	ph := NewPhase(cacheSpec(), 0x400000, 0x10000000, 7)
+	body := &PhaseBody{Phases: []*Phase{ph}}
+	var buf []isa.Instr
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = body.EmitRequest(0, buf[:0])
+	}
+}
+
+// BenchmarkEmitRequestCached measures serving a pregenerated decoded variant
+// from the rotating cache — the steady-state request path.
+func BenchmarkEmitRequestCached(b *testing.B) {
+	ph := NewPhase(cacheSpec(), 0x400000, 0x10000000, 7)
+	c := NewStreamCache(&PhaseBody{Phases: []*Phase{ph}})
+	c.Next(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Next(0)
+	}
+}

@@ -70,6 +70,7 @@ type Tier struct {
 	rng      *stats.Rand
 	conns    map[*kernel.Thread]map[string]*kernel.Endpoint
 	breakers map[string]*Breaker // per downstream target, resilient path only
+	streams  *StreamCache        // rotating pregenerated request streams for Body
 }
 
 // NewTier builds a tier on m.
@@ -80,13 +81,17 @@ func NewTier(m *platform.Machine, cfg TierConfig, body Body) *Tier {
 	if cfg.RespBytes <= 0 {
 		cfg.RespBytes = 512
 	}
-	return &Tier{
+	t := &Tier{
 		Base: newBase(cfg.Name, m, cfg.Port, cfg.Seed),
 		Cfg:  cfg, Body: body,
 		rng:      stats.NewRand(cfg.Seed ^ 0x7349),
 		conns:    map[*kernel.Thread]map[string]*kernel.Endpoint{},
 		breakers: map[string]*Breaker{},
 	}
+	if body != nil {
+		t.streams = NewStreamCache(body)
+	}
+	return t
 }
 
 // Start launches the tier's skeleton.
@@ -145,8 +150,8 @@ func (t *Tier) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.Msg) 
 		echo(th, conn, msg, t.Cfg.RespBytes)
 		return
 	}
-	if t.Body != nil {
-		th.Run(t.Body.EmitRequest(ctx.Kind, nil))
+	if t.streams != nil {
+		th.RunTrace(t.streams.Next(ctx.Kind))
 	}
 	if t.PostWork != nil {
 		t.PostWork(th, ctx.Kind)

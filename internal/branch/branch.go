@@ -9,14 +9,21 @@ package branch
 // Predictor is a gshare-style global-history predictor with 2-bit
 // saturating counters plus a bimodal fallback chooser. The zero value is
 // not usable; construct with NewPredictor.
+//
+// The bimodal counter and the chooser are indexed identically (by pc), so
+// they share one packed table — low byte bimodal, high byte chooser — and
+// an access costs two random table loads instead of three.
 type Predictor struct {
-	gshare  []uint8 // 2-bit counters indexed by pc ⊕ history
-	bimodal []uint8 // 2-bit counters indexed by pc
-	chooser []uint8 // 2-bit meta predictor: ≥2 prefers gshare
+	gshare  []uint8  // 2-bit counters indexed by pc ⊕ history
+	bc      []uint16 // bimodal (low byte) + chooser (high byte), indexed by pc
 	mask    uint64
 	history uint64
 	histLen uint
 }
+
+// bcInit is the cold per-entry state: bimodal weakly not-taken (1), chooser
+// weakly preferring gshare (2).
+const bcInit = 1 | 2<<8
 
 // NewPredictor builds a predictor with the given table size (entries per
 // component table, rounded up to a power of two, minimum 64).
@@ -27,18 +34,14 @@ func NewPredictor(entries int) *Predictor {
 	}
 	p := &Predictor{
 		gshare:  make([]uint8, n),
-		bimodal: make([]uint8, n),
-		chooser: make([]uint8, n),
+		bc:      make([]uint16, n),
 		mask:    uint64(n - 1),
 		histLen: 12,
-	}
-	for i := range p.chooser {
-		p.chooser[i] = 2 // weakly prefer gshare
 	}
 	// Counters start weakly not-taken (1), matching cold hardware.
 	for i := range p.gshare {
 		p.gshare[i] = 1
-		p.bimodal[i] = 1
+		p.bc[i] = bcInit
 	}
 	return p
 }
@@ -54,35 +57,34 @@ func (p *Predictor) bIndex(pc uint64) uint64 {
 // Predict returns the predicted direction for the branch at pc without
 // updating any state.
 func (p *Predictor) Predict(pc uint64) bool {
-	if p.chooser[p.bIndex(pc)] >= 2 {
+	bc := p.bc[p.bIndex(pc)]
+	if bc>>8 >= 2 {
 		return p.gshare[p.gIndex(pc)] >= 2
 	}
-	return p.bimodal[p.bIndex(pc)] >= 2
+	return bc&0xff >= 2
 }
 
 // Access predicts the branch at pc, updates all tables with the actual
 // outcome, and reports whether the prediction was correct.
 func (p *Predictor) Access(pc uint64, taken bool) bool {
 	gi, bi := p.gIndex(pc), p.bIndex(pc)
-	gPred := p.gshare[gi] >= 2
-	bPred := p.bimodal[bi] >= 2
-	useG := p.chooser[bi] >= 2
+	g := p.gshare[gi]
+	bc := p.bc[bi]
+	gPred := g >= 2
+	bPred := bc&0xff >= 2
+	chooser := uint8(bc >> 8)
 	pred := bPred
-	if useG {
+	if chooser >= 2 {
 		pred = gPred
 	}
 	correct := pred == taken
 
 	// Chooser: train toward whichever component was right when they differ.
 	if gPred != bPred {
-		if gPred == taken {
-			p.chooser[bi] = sat(p.chooser[bi], true)
-		} else {
-			p.chooser[bi] = sat(p.chooser[bi], false)
-		}
+		chooser = sat(chooser, gPred == taken)
 	}
-	p.gshare[gi] = sat(p.gshare[gi], taken)
-	p.bimodal[bi] = sat(p.bimodal[bi], taken)
+	p.gshare[gi] = sat(g, taken)
+	p.bc[bi] = uint16(sat(uint8(bc), taken)) | uint16(chooser)<<8
 	p.history = (p.history<<1 | b2u(taken)) & (1<<p.histLen - 1)
 	return correct
 }
@@ -91,8 +93,7 @@ func (p *Predictor) Access(pc uint64, taken bool) bool {
 func (p *Predictor) Reset() {
 	for i := range p.gshare {
 		p.gshare[i] = 1
-		p.bimodal[i] = 1
-		p.chooser[i] = 2
+		p.bc[i] = bcInit
 	}
 	p.history = 0
 }
@@ -141,6 +142,13 @@ type BitmaskBranch struct {
 // whose transition rate is 2^-n. m and n are clamped to [1,10] — the
 // paper's quantization range — except m==0, which yields always-taken.
 func NewBitmaskBranch(m, n int) *BitmaskBranch {
+	bb := MakeBitmaskBranch(m, n)
+	return &bb
+}
+
+// MakeBitmaskBranch is NewBitmaskBranch as a value constructor, for callers
+// that embed branches inline (slot tables) instead of holding pointers.
+func MakeBitmaskBranch(m, n int) BitmaskBranch {
 	clamp := func(v int) uint8 {
 		if v < 1 {
 			return 1
@@ -150,7 +158,7 @@ func NewBitmaskBranch(m, n int) *BitmaskBranch {
 		}
 		return uint8(v)
 	}
-	bb := &BitmaskBranch{N: clamp(n)}
+	bb := BitmaskBranch{N: clamp(n)}
 	if m != 0 {
 		bb.M = clamp(m)
 	}

@@ -52,13 +52,37 @@ type Hierarchy struct {
 // through the whole hierarchy: its latency is hidden, but it occupies (and
 // evicts) capacity at every level like a real hardware prefetch.
 func (h *Hierarchy) Access(addr uint64) Result {
-	res := h.walk(addr)
-	if l1 := h.Caches[0]; l1 != nil && l1.Config().Prefetch {
-		line := addr / LineBytes
+	line := addr / LineBytes
+	var res Result
+	if l1 := h.Caches[0]; l1 != nil && l1.touch(line) {
+		// The common case — an L1 hit — takes no loop machinery.
+		res = Result{Latency: l1.cfg.Latency, Served: L1}
+	} else {
+		lat := 0
+		if l1 != nil {
+			lat = l1.cfg.Latency
+		}
+		for i := 1; ; i++ {
+			if i == len(h.Caches) {
+				res = Result{Latency: lat + h.MemLatency + h.MemPenalty, Served: Mem}
+				break
+			}
+			c := h.Caches[i]
+			if c == nil {
+				continue
+			}
+			lat += c.cfg.Latency
+			if c.touch(line) {
+				res = Result{Latency: lat, Served: Level(i)}
+				break
+			}
+		}
+	}
+	if l1 := h.Caches[0]; l1 != nil && l1.cfg.Prefetch {
 		if h.haveLast && line == h.lastLine+1 {
 			for _, c := range h.Caches {
 				if c != nil {
-					c.Install(addr + LineBytes)
+					c.install(line + 1)
 				}
 			}
 		}
@@ -66,22 +90,6 @@ func (h *Hierarchy) Access(addr uint64) Result {
 		h.haveLast = true
 	}
 	return res
-}
-
-// walk performs the demand lookup.
-func (h *Hierarchy) walk(addr uint64) Result {
-	lat := 0
-	for i, c := range h.Caches {
-		if c == nil {
-			continue
-		}
-		if c.Access(addr) {
-			lat += c.cfg.Latency
-			return Result{Latency: lat, Served: Level(i)}
-		}
-		lat += c.cfg.Latency
-	}
-	return Result{Latency: lat + h.MemLatency + h.MemPenalty, Served: Mem}
 }
 
 // Invalidate removes the line from every level (coherence invalidation).

@@ -161,10 +161,7 @@ type Core struct {
 	cfg  Config
 	pred *branch.Predictor
 
-	regReady  [isa.NumRegs]float64
-	portFree  [8]float64
 	robRing   []float64
-	robPos    int
 	lastFetch uint64
 	haveFetch bool
 	rng       uint64
@@ -173,6 +170,9 @@ type Core struct {
 	// scenario sets it mid-run; cycle counts are unaffected, only how long
 	// they take, which is exactly what frequency throttling does.
 	throttle float64
+	// scratch is the reusable decode buffer Execute uses for uncached
+	// streams; cached streams carry their own pre-decoded Trace.
+	scratch Trace
 }
 
 // NewCore builds a core from cfg.
@@ -254,181 +254,13 @@ func (c *Core) Time(cycles float64) sim.Time {
 
 // Execute runs one dynamic instruction stream to completion and returns
 // consumed cycles plus counter deltas. The timeline is local to the burst;
-// cache and predictor state persist across bursts.
+// cache and predictor state persist across bursts. It is a thin wrapper for
+// uncached streams: the static pass decodes into the core's reusable
+// scratch trace, then the dynamic pass runs. Streams executed repeatedly
+// should be decoded once with NewTrace and run via ExecuteTrace instead.
 func (c *Core) Execute(stream []isa.Instr) Result {
-	var ctr Counters
-	width := float64(c.cfg.Arch.IssueWidth) * c.cfg.SMTFactor
-	if width < 1 {
-		width = 1
-	}
-	for i := range c.regReady {
-		c.regReady[i] = 0
-	}
-	for i := range c.portFree {
-		c.portFree[i] = 0
-	}
-	for i := range c.robRing {
-		c.robRing[i] = 0
-	}
-	c.robPos = 0
-
-	dispatch := 0.0
-	maxComplete := 0.0
-	l1iLat, l1dLat := c.l1Lat(c.cfg.ICache), c.l1Lat(c.cfg.DCache)
-
-	for i := range stream {
-		in := &stream[i]
-		f := &isa.Table[in.Op]
-
-		ctr.Instrs++
-		if in.Kernel {
-			ctr.KernelInstrs++
-		}
-		uops := float64(f.Uops)
-		ctr.Uops += uint64(f.Uops)
-		dispatch += uops / width
-
-		// Frontend: fetch the instruction's line when it changes.
-		line := in.PC / isa.LineBytes
-		if !c.haveFetch || line != c.lastFetch {
-			c.lastFetch = line
-			c.haveFetch = true
-			if c.cfg.ICache != nil {
-				res := c.cfg.ICache.Access(in.PC)
-				c.countAccess(&ctr, res, true)
-				if res.Served != cache.L1 {
-					stall := float64(res.Latency - l1iLat)
-					dispatch += stall
-					ctr.Frontend += stall
-				}
-			}
-		}
-
-		// Branch prediction.
-		if f.Branch {
-			ctr.Branches++
-			if !c.pred.Access(in.PC, in.Taken) {
-				ctr.Mispred++
-				pen := float64(c.cfg.Arch.MispredictPenalty)
-				dispatch += pen
-				ctr.BadSpec += pen
-			}
-		}
-
-		// ROB: cannot dispatch past the window.
-		if old := c.robRing[c.robPos]; old > dispatch {
-			dispatch = old
-		}
-
-		// Register dataflow.
-		ready := dispatch
-		if in.Src1 != isa.RegNone && c.regReady[in.Src1] > ready {
-			ready = c.regReady[in.Src1]
-		}
-		if in.Src2 != isa.RegNone && c.regReady[in.Src2] > ready {
-			ready = c.regReady[in.Src2]
-		}
-
-		// Port selection: least-loaded allowed port.
-		port := c.pickPort(f.Ports)
-		issue := ready
-		if c.portFree[port] > issue {
-			issue = c.portFree[port]
-		}
-		c.portFree[port] = issue + 1
-
-		// Memory.
-		memExtra := 0.0
-		if f.Load || f.Store {
-			memExtra = c.memAccess(&ctr, in, f, l1dLat)
-		}
-
-		execLat := float64(f.Latency)
-		if f.Rep && in.RepCount > 1 {
-			execLat += float64(f.RepUnit) * float64(in.RepCount) / 8
-		}
-		complete := issue + execLat
-		if f.Load {
-			complete += memExtra
-		}
-		if in.Dst != isa.RegNone {
-			c.regReady[in.Dst] = complete
-		}
-		c.robRing[c.robPos] = complete
-		c.robPos++
-		if c.robPos == len(c.robRing) {
-			c.robPos = 0
-		}
-		if complete > maxComplete {
-			maxComplete = complete
-		}
-	}
-
-	cycles := dispatch
-	if maxComplete > cycles {
-		cycles = maxComplete
-	}
-	ctr.Cycles = cycles
-	ctr.Retiring = float64(ctr.Uops) / width
-	back := cycles - ctr.Retiring - ctr.Frontend - ctr.BadSpec
-	if back < 0 {
-		back = 0
-	}
-	ctr.Backend = back
-	return Result{Cycles: cycles, Counters: ctr}
-}
-
-// memAccess performs the data-side cache walk(s) for one instruction and
-// returns the extra load latency beyond an L1 hit (already included in the
-// iform latency). REP ops walk their whole byte range a line at a time,
-// with streaming overlap dividing the exposed latency.
-func (c *Core) memAccess(ctr *Counters, in *isa.Instr, f *isa.IForm, l1dLat int) float64 {
-	if c.cfg.DCache == nil {
-		return 0
-	}
-	if in.Shared && c.cfg.CoherenceInvRate > 0 && c.next01() < c.cfg.CoherenceInvRate {
-		c.cfg.DCache.Invalidate(in.Addr)
-	}
-	if f.Load {
-		ctr.LoadBytes += 8
-	}
-	if f.Store {
-		ctr.StoreBytes += 8
-	}
-	if !f.Rep {
-		res := c.cfg.DCache.Access(in.Addr)
-		c.countAccess(ctr, res, false)
-		extra := float64(res.Latency - l1dLat)
-		if extra < 0 {
-			extra = 0
-		}
-		if f.Store && !f.Load {
-			return 0 // store buffer hides store latency
-		}
-		return extra
-	}
-	// REP string op: touch every line in [Addr, Addr+RepCount).
-	n := int(in.RepCount)
-	if n < 1 {
-		n = 1
-	}
-	if f.Load {
-		ctr.LoadBytes += uint64(n)
-	}
-	if f.Store {
-		ctr.StoreBytes += uint64(n)
-	}
-	lines := (n + isa.LineBytes - 1) / isa.LineBytes
-	var exposed float64
-	for l := 0; l < lines; l++ {
-		res := c.cfg.DCache.Access(in.Addr + uint64(l*isa.LineBytes))
-		c.countAccess(ctr, res, false)
-		if extra := float64(res.Latency - l1dLat); extra > 0 {
-			exposed += extra
-		}
-	}
-	const streamMLP = 4 // hardware stream overlap for bulk copies
-	return exposed / streamMLP
+	c.scratch.Decode(stream)
+	return c.ExecuteTrace(&c.scratch)
 }
 
 // countAccess attributes one hierarchy access to the per-level counters.
@@ -469,32 +301,42 @@ func (c *Core) l1Lat(h *cache.Hierarchy) int {
 	return h.Caches[0].Config().Latency
 }
 
-// portLists caches, for every possible mask, the port indices it allows.
-var portLists = func() (t [256][]uint8) {
+// portTab caches, for every possible mask, the port indices it allows as a
+// fixed array plus a count — no slice headers on the hot path. An empty
+// mask degrades to port 0. Unused slots repeat the first port: under the
+// strict-< least-loaded scan a duplicate can never win, so the selection
+// loop may read a fixed four slots (no iform in the table allows more than
+// four ports) without a data-dependent bound.
+var portTab = func() (t struct {
+	list [256][8]uint8
+	n    [256]uint8
+}) {
 	for m := 0; m < 256; m++ {
 		for p := uint8(0); p < 8; p++ {
 			if m&(1<<p) != 0 {
-				t[m] = append(t[m], p)
+				t.list[m][t.n[m]] = p
+				t.n[m]++
 			}
 		}
-		if len(t[m]) == 0 {
-			t[m] = []uint8{0}
+		if t.n[m] == 0 {
+			t.list[m][0] = 0
+			t.n[m] = 1
+		}
+		for k := t.n[m]; k < 8; k++ {
+			t.list[m][k] = t.list[m][0]
 		}
 	}
-	return t
+	return
 }()
 
-// pickPort chooses the least-loaded port allowed by mask, deterministically.
-func (c *Core) pickPort(mask isa.PortMask) int {
-	ports := portLists[mask]
-	best := ports[0]
-	if len(ports) == 1 {
-		return int(best)
+// portPack packs each mask's first four candidate ports into one word
+// (byte k = candidate k), the form the execution loop consumes: Decode
+// stores portPack[mask] per instruction, so selection needs no second
+// table lookup.
+var portPack = func() (t [256]uint32) {
+	for m := range t {
+		pl := &portTab.list[m]
+		t[m] = uint32(pl[0]) | uint32(pl[1])<<8 | uint32(pl[2])<<16 | uint32(pl[3])<<24
 	}
-	for _, p := range ports[1:] {
-		if c.portFree[p] < c.portFree[best] {
-			best = p
-		}
-	}
-	return int(best)
-}
+	return
+}()

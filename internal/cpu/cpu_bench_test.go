@@ -18,6 +18,33 @@ func BenchmarkExecuteALU(b *testing.B) {
 	b.ReportMetric(float64(len(stream)), "instrs/op")
 }
 
+// BenchmarkExecuteTraceDecoded measures the dynamic pass alone on a
+// pre-decoded mixed trace — the steady-state hot path once request streams
+// are cached. Allocations are reported; the pass must stay at zero.
+func BenchmarkExecuteTraceDecoded(b *testing.B) {
+	c := testCore()
+	tr := NewTrace(mixedStream(4096, 7))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ExecuteTrace(tr)
+	}
+	b.ReportMetric(float64(tr.Len()), "instrs/op")
+}
+
+// BenchmarkDecode measures the one-time static pass that turns a raw stream
+// into a dense decoded trace (storage reused across iterations).
+func BenchmarkDecode(b *testing.B) {
+	stream := mixedStream(4096, 7)
+	var tr Trace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Decode(stream)
+	}
+	b.ReportMetric(float64(len(stream)), "instrs/op")
+}
+
 // BenchmarkExecuteMemHeavy measures throughput with cache-hierarchy walks
 // on every third instruction — the realistic workload shape.
 func BenchmarkExecuteMemHeavy(b *testing.B) {

@@ -42,12 +42,17 @@ func (s Span) Duration() sim.Time { return s.End - s.Start }
 
 // Collector samples and stores traces. Sampling keeps 1-in-N traces, the
 // low-overhead configuration the paper assumes for production tracing.
+//
+// The sampling decision is pure arithmetic over the monotonically-assigned
+// trace ids — every sampleEvery-th id is kept — so StartTrace and Record
+// allocate nothing: the span-record hot path stays allocation-free once the
+// span store has warmed up (or been sized with Reserve).
 type Collector struct {
 	sampleEvery int
 	nextTrace   uint64
 	nextSpan    uint64
+	floorTrace  uint64 // traces at or below this id predate the last Reset
 	spans       []Span
-	sampled     map[TraceID]bool
 }
 
 // NewCollector builds a collector keeping every sampleEvery-th trace
@@ -56,17 +61,20 @@ func NewCollector(sampleEvery int) *Collector {
 	if sampleEvery < 1 {
 		sampleEvery = 1
 	}
-	return &Collector{sampleEvery: sampleEvery, sampled: map[TraceID]bool{}}
+	return &Collector{sampleEvery: sampleEvery}
 }
 
-// StartTrace allocates a trace id and decides its sampling fate.
+// StartTrace allocates a trace id; its sampling fate is a deterministic
+// function of the id.
 func (c *Collector) StartTrace() TraceID {
 	c.nextTrace++
-	id := TraceID(c.nextTrace)
-	if c.nextTrace%uint64(c.sampleEvery) == 0 {
-		c.sampled[id] = true
-	}
-	return id
+	return TraceID(c.nextTrace)
+}
+
+// isSampled reports the sampling decision for a trace id: every
+// sampleEvery-th id started after the last Reset is kept.
+func (c *Collector) isSampled(id TraceID) bool {
+	return uint64(id) > c.floorTrace && uint64(id)%uint64(c.sampleEvery) == 0
 }
 
 // NextSpanID allocates a span id.
@@ -77,12 +85,23 @@ func (c *Collector) NextSpanID() SpanID {
 
 // Record stores a span if its trace is sampled.
 func (c *Collector) Record(s Span) {
-	if c.sampled[s.Trace] {
+	if c.isSampled(s.Trace) {
 		c.spans = append(c.spans, s)
 	}
 }
 
-// Spans returns the collected spans.
+// Reserve grows the span store to hold at least n spans without further
+// allocation — how long-running harnesses keep Record off the allocator.
+func (c *Collector) Reserve(n int) {
+	if cap(c.spans)-len(c.spans) < n {
+		grown := make([]Span, len(c.spans), len(c.spans)+n)
+		copy(grown, c.spans)
+		c.spans = grown
+	}
+}
+
+// Spans returns the collected spans. The slice aliases the collector's
+// storage and is invalidated by Reset.
 func (c *Collector) Spans() []Span { return c.spans }
 
 // Traces groups collected spans by trace id.
@@ -94,10 +113,11 @@ func (c *Collector) Traces() map[TraceID][]Span {
 	return out
 }
 
-// Reset drops collected spans but keeps id counters monotonic.
+// Reset drops collected spans but keeps id counters monotonic. Storage is
+// retained for reuse; traces started before the Reset are no longer sampled.
 func (c *Collector) Reset() {
-	c.spans = nil
-	c.sampled = map[TraceID]bool{}
+	c.spans = c.spans[:0]
+	c.floorTrace = c.nextTrace
 }
 
 // Edge is one parent→child service dependency with its observed weight.

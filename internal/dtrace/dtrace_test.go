@@ -38,6 +38,48 @@ func TestCollectorSampling(t *testing.T) {
 	}
 }
 
+// TestResetRetainsStorageAndResamples: Reset must keep the span store's
+// capacity for reuse and stop sampling traces started before the reset,
+// while ids stay monotonic.
+func TestResetRetainsStorageAndResamples(t *testing.T) {
+	c := NewCollector(1)
+	pre := c.StartTrace()
+	mkSpan(c, pre, 0, "a")
+	c.Reset()
+	if len(c.Spans()) != 0 {
+		t.Fatal("reset did not clear spans")
+	}
+	c.Record(Span{Trace: pre, ID: c.NextSpanID(), Service: "a"})
+	if len(c.Spans()) != 0 {
+		t.Fatal("trace started before Reset must not be sampled after it")
+	}
+	post := c.StartTrace()
+	if post <= pre {
+		t.Fatalf("trace ids must stay monotonic across Reset: %d <= %d", post, pre)
+	}
+	mkSpan(c, post, 0, "a")
+	if len(c.Spans()) != 1 {
+		t.Fatal("trace started after Reset must be sampled")
+	}
+}
+
+// TestRecordPathAllocationFree guards the no-resilience span path: with the
+// span store pre-sized, StartTrace + NextSpanID + Record must not allocate.
+func TestRecordPathAllocationFree(t *testing.T) {
+	c := NewCollector(1)
+	c.Reserve(200)
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := c.StartTrace()
+		s := Span{Trace: tr, ID: c.NextSpanID(), Service: "svc",
+			Operation: "get", Start: 0, End: sim.Millisecond,
+			ReqBytes: 128, RespBytes: 4096}
+		c.Record(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("span record path allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
 func TestBuildGraph(t *testing.T) {
 	c := NewCollector(1)
 	for i := 0; i < 10; i++ {

@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+
+	"ditto/internal/sim"
+)
+
+// BenchmarkFig8Cell is the end-to-end hot-path benchmark: one fig8 nginx
+// figure cell at quick windows — the same cell the dittobench -bench-json
+// artifact freezes as figure_cell. It exercises the whole stack: kernel,
+// stream caches, decoded traces, cache hierarchies and the reporting layer.
+func BenchmarkFig8Cell(b *testing.B) {
+	opt := Options{
+		Windows:   Windows{Warmup: 10 * sim.Millisecond, Measure: 50 * sim.Millisecond},
+		TuneIters: 0,
+		Quiet:     true,
+		Apps:      []string{"nginx"},
+		Seed:      1,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RunFig8(io.Discard, opt)
+	}
+}

@@ -9,11 +9,40 @@ package interfere
 import (
 	"fmt"
 
+	"ditto/internal/cpu"
 	"ditto/internal/isa"
 	"ditto/internal/kernel"
 	"ditto/internal/platform"
 	"ditto/internal/sim"
 )
+
+// stressorBurst is how many instructions each stressor thread runs between
+// scheduler yields.
+const stressorBurst = 4096
+
+// fillLLCBurst rewrites stream in place with a streaming-load sweep starting
+// at cursor (bytes into the working set) and returns the advanced cursor.
+// It touches no storage beyond the given slice, keeping the stressor's burst
+// loop allocation-free.
+func fillLLCBurst(stream []isa.Instr, base, cursor uint64, wsBytes int) uint64 {
+	for i := range stream {
+		stream[i] = isa.Instr{Op: isa.MOVload,
+			PC:  0x700000 + uint64(i%16)*4,
+			Dst: isa.Reg(i % 8), Src1: isa.R10,
+			Addr: base + cursor, BranchID: -1}
+		cursor = (cursor + isa.LineBytes) % uint64(wsBytes)
+	}
+	return cursor
+}
+
+// fillCPUBurst rewrites stream in place with a pure-ALU spin loop.
+func fillCPUBurst(stream []isa.Instr) {
+	for i := range stream {
+		stream[i] = isa.Instr{Op: isa.ADDrr, PC: 0x710000 + uint64(i%16)*4,
+			Dst: isa.Reg(i % 8), Src1: isa.Reg(i % 8), Src2: isa.Reg((i + 1) % 8),
+			BranchID: -1}
+	}
+}
 
 // StartLLCStressor launches threads that continuously stream loads over a
 // working set sized to wsBytes (typically the LLC capacity), evicting the
@@ -24,17 +53,10 @@ func StartLLCStressor(m *platform.Machine, threads, wsBytes int) *kernel.Proc {
 		th := th
 		p.Spawn(fmt.Sprintf("hammer-%d", th), func(t *kernel.Thread) {
 			base := p.MemBase + uint64(th)<<34
-			const burst = 4096
-			stream := make([]isa.Instr, burst)
+			stream := make([]isa.Instr, stressorBurst)
 			cursor := uint64(0)
 			for {
-				for i := range stream {
-					stream[i] = isa.Instr{Op: isa.MOVload,
-						PC:  0x700000 + uint64(i%16)*4,
-						Dst: isa.Reg(i % 8), Src1: isa.R10,
-						Addr: base + cursor, BranchID: -1}
-					cursor = (cursor + isa.LineBytes) % uint64(wsBytes)
-				}
+				cursor = fillLLCBurst(stream, base, cursor, wsBytes)
 				t.Run(stream)
 				t.Yield() // stay preemptible
 			}
@@ -74,14 +96,13 @@ func StartCPUStressor(m *platform.Machine, threads int) *kernel.Proc {
 	p := m.Kernel.NewProc("cpu-stressor")
 	for th := 0; th < threads; th++ {
 		p.Spawn(fmt.Sprintf("spin-%d", th), func(t *kernel.Thread) {
-			stream := make([]isa.Instr, 4096)
-			for i := range stream {
-				stream[i] = isa.Instr{Op: isa.ADDrr, PC: 0x710000 + uint64(i%16)*4,
-					Dst: isa.Reg(i % 8), Src1: isa.Reg(i % 8), Src2: isa.Reg((i + 1) % 8),
-					BranchID: -1}
-			}
+			// The spin stream never changes: decode it once and replay the
+			// trace, skipping the per-burst decode pass entirely.
+			stream := make([]isa.Instr, stressorBurst)
+			fillCPUBurst(stream)
+			tr := cpu.NewTrace(stream)
 			for {
-				t.Run(stream)
+				t.RunTrace(tr)
 				t.Yield()
 			}
 		})

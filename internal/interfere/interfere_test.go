@@ -78,6 +78,25 @@ func TestNetStressorDelaysVictimTraffic(t *testing.T) {
 	eng.Run()
 }
 
+// TestBurstFillAllocationFree guards the stressor burst loops: refilling a
+// burst in place must not touch the allocator.
+func TestBurstFillAllocationFree(t *testing.T) {
+	stream := make([]isa.Instr, stressorBurst)
+	cursor := uint64(0)
+	allocs := testing.AllocsPerRun(50, func() {
+		cursor = fillLLCBurst(stream, 1<<32, cursor, 8<<20)
+	})
+	if allocs != 0 {
+		t.Fatalf("fillLLCBurst allocated %.1f allocs/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		fillCPUBurst(stream)
+	})
+	if allocs != 0 {
+		t.Fatalf("fillCPUBurst allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
 func TestCPUStressorOccupiesCores(t *testing.T) {
 	eng := sim.NewEngine()
 	cl := platform.NewCluster(eng, 100*sim.Microsecond)

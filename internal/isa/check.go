@@ -22,6 +22,10 @@ func (f *IForm) Validate() error {
 		return fmt.Errorf("%s: zero latency outside the nop class", f.Name)
 	case f.Ports == 0:
 		return fmt.Errorf("%s: empty port mask", f.Name)
+	case popcount8(uint8(f.Ports)) > 4:
+		// The execution core's port-selection fast path reads a fixed four
+		// slots per mask; no real iform issues to more than four ports.
+		return fmt.Errorf("%s: %d allowed ports, want <= 4 (mask %08b)", f.Name, popcount8(uint8(f.Ports)), f.Ports)
 	case f.Branch && f.Ports&PortsBranch == 0:
 		return fmt.Errorf("%s: branch cannot issue to a branch port (mask %08b)", f.Name, f.Ports)
 	case f.Branch && f.Class != ClassControl:
@@ -40,6 +44,14 @@ func (f *IForm) Validate() error {
 		return fmt.Errorf("%s: ALU-heavy op with latency %d, want >= 3", f.Name, f.Latency)
 	}
 	return nil
+}
+
+func popcount8(v uint8) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
 }
 
 // ValidateOp checks that op indexes a self-consistent Table entry.

@@ -94,15 +94,18 @@ func (t *Thread) syscallEnterOff(op SyscallOp, bytes int, off int64, fdClass str
 		f(SyscallEvent{Time: k.eng.Now(), TID: t.ID, Proc: t.Proc.Name,
 			Op: op, Bytes: bytes, Offset: off, FDClass: fdClass})
 	}
-	stream := k.kstream(op)
+	tr := k.kstream(op)
 	if bytes > 0 {
 		// copy_to_user / copy_from_user of the payload, touching a user
 		// buffer in the calling process's address space.
 		t.tail[0] = isa.Instr{Op: isa.REPMOVSB, PC: kernelTextBase + uint64(op)<<20,
 			Addr: t.Proc.MemBase + 1<<30, RepCount: int32(bytes), BranchID: -1,
 			Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone, Kernel: true}
-		t.compute(stream, t.tail[:])
+		t.itemBuf[0] = burstItem{trace: tr}
+		t.itemBuf[1] = burstItem{stream: t.tail[:]}
+		t.compute(t.itemBuf[:2])
 		return
 	}
-	t.compute(stream)
+	t.itemBuf[0] = burstItem{trace: tr}
+	t.compute(t.itemBuf[:1])
 }

@@ -14,13 +14,14 @@ type File struct {
 	Name string
 	Size int64
 	id   uint64
+	tag  string // "file:"+Name, precomputed for the syscall event log
 }
 
 // CreateFile registers a file of the given size on the kernel (dataset
 // setup; contents are not modeled, only geometry).
 func (k *Kernel) CreateFile(name string, size int64) *File {
 	k.nextFS++
-	f := &File{Name: name, Size: size, id: k.nextFS}
+	f := &File{Name: name, Size: size, id: k.nextFS, tag: "file:" + name}
 	k.files[name] = f
 	return f
 }
@@ -34,25 +35,36 @@ type FD struct {
 }
 
 // Open opens a file by name, charging the open(2) path. Opening a missing
-// file panics: in this simulation it is always a harness bug.
+// file panics: in this simulation it is always a harness bug. Descriptors
+// recycle through the thread's pool (CloseFD refills it), so the steady
+// open/read/close request pattern allocates nothing.
 func (t *Thread) Open(name string) *FD {
-	t.syscallEnter(SysOpen, 0, "file:"+name)
 	f := t.k.files[name]
 	if f == nil {
 		panic("kernel: open of missing file " + name)
 	}
+	t.syscallEnter(SysOpen, 0, f.tag)
+	if n := len(t.fdPool); n > 0 {
+		fd := t.fdPool[n-1]
+		t.fdPool = t.fdPool[:n-1]
+		fd.File = f
+		return fd
+	}
 	return &FD{File: f}
 }
 
-// CloseFD closes a descriptor.
+// CloseFD closes a descriptor and recycles it. The descriptor must not be
+// used after closing.
 func (t *Thread) CloseFD(fd *FD) {
-	t.syscallEnter(SysClose, 0, "file:"+fd.File.Name)
+	t.syscallEnter(SysClose, 0, fd.File.tag)
+	fd.File = nil
+	t.fdPool = append(t.fdPool, fd)
 }
 
 // Pread reads bytes at offset, blocking on the disk for any pages missing
 // from the page cache.
 func (t *Thread) Pread(fd *FD, bytes int, offset int64) {
-	t.syscallEnterOff(SysPread, bytes, offset, "file:"+fd.File.Name)
+	t.syscallEnterOff(SysPread, bytes, offset, fd.File.tag)
 	if bytes <= 0 {
 		return
 	}
@@ -60,14 +72,14 @@ func (t *Thread) Pread(fd *FD, bytes int, offset int64) {
 	first := offset / PageBytes
 	last := (offset + int64(bytes) - 1) / PageBytes
 
-	// Collect contiguous runs of missing pages.
-	type run struct{ pages int }
-	var runs []run
+	// Collect contiguous runs of missing pages into the thread's reusable
+	// buffer (a thread has at most one Pread in flight).
+	runs := t.preadRuns[:0]
 	missing := 0
 	for p := first; p <= last; p++ {
 		if k.pages.touch(pageKey{file: fd.File.id, page: p}) {
 			if missing > 0 {
-				runs = append(runs, run{missing})
+				runs = append(runs, missing)
 				missing = 0
 			}
 		} else {
@@ -75,23 +87,27 @@ func (t *Thread) Pread(fd *FD, bytes int, offset int64) {
 		}
 	}
 	if missing > 0 {
-		runs = append(runs, run{missing})
+		runs = append(runs, missing)
 	}
+	t.preadRuns = runs
 	if len(runs) == 0 || k.res.Disk == nil {
 		return
 	}
-	pending := len(runs)
-	for _, r := range runs {
-		n := r.pages * PageBytes
-		t.Proc.DiskReadBytes += uint64(n)
-		k.res.Disk.Read(n, func() {
-			pending--
-			if pending == 0 {
-				k.wake(t, "disk")
+	if t.diskFn == nil {
+		t.diskFn = func() {
+			t.diskPending--
+			if t.diskPending == 0 {
+				t.k.wake(t, "disk")
 			}
-		})
+		}
 	}
-	for pending > 0 {
+	t.diskPending = len(runs)
+	for _, pages := range runs {
+		n := pages * PageBytes
+		t.Proc.DiskReadBytes += uint64(n)
+		k.res.Disk.Read(n, t.diskFn)
+	}
+	for t.diskPending > 0 {
 		t.park()
 	}
 }
@@ -100,7 +116,7 @@ func (t *Thread) Pread(fd *FD, bytes int, offset int64) {
 // write completes asynchronously (write-back), so the caller only pays the
 // syscall cost.
 func (t *Thread) WriteFile(fd *FD, bytes int, offset int64) {
-	t.syscallEnterOff(SysWrite, bytes, offset, "file:"+fd.File.Name)
+	t.syscallEnterOff(SysWrite, bytes, offset, fd.File.tag)
 	if bytes <= 0 {
 		return
 	}
@@ -139,12 +155,15 @@ type pageNode struct {
 	prev, next *pageNode
 }
 
-// pageLRU is a capacity-bounded LRU set of pages.
+// pageLRU is a capacity-bounded LRU set of pages. Evicted nodes go on a
+// free list: once the cache reaches capacity, insert/evict churn recycles
+// nodes instead of allocating.
 type pageLRU struct {
 	cap  int
 	m    map[pageKey]*pageNode
 	head *pageNode // most recently used
 	tail *pageNode // least recently used
+	free *pageNode // recycled nodes, chained via next
 }
 
 func newPageLRU(capacity int) *pageLRU {
@@ -168,7 +187,14 @@ func (l *pageLRU) insert(key pageKey) {
 		l.moveToFront(n)
 		return
 	}
-	n := &pageNode{key: key}
+	n := l.free
+	if n != nil {
+		l.free = n.next
+		n.key = key
+		n.prev, n.next = nil, nil
+	} else {
+		n = &pageNode{key: key}
+	}
 	l.m[key] = n
 	n.next = l.head
 	if l.head != nil {
@@ -187,6 +213,9 @@ func (l *pageLRU) insert(key pageKey) {
 			l.head = nil
 		}
 		delete(l.m, evict.key)
+		evict.prev = nil
+		evict.next = l.free
+		l.free = evict
 	}
 }
 

@@ -43,9 +43,12 @@ type Kernel struct {
 	eng *sim.Engine
 	res Resources
 
-	// Scheduler state.
+	// Scheduler state. runq is a FIFO ring: runqHead indexes the next burst
+	// and the slice is reset when it drains, so steady-state enqueues reuse
+	// capacity instead of reallocating behind a sliding front.
 	idleCores  []int
 	runq       []*burst
+	runqHead   int
 	coreThread []*Thread // last thread that ran on each core
 
 	// Coroutine handshake.
@@ -68,13 +71,17 @@ type Kernel struct {
 	// tier's connections would keep queueing inbound messages forever —
 	// the same class of stale shared state as a dead process's listener.
 	sides []*connSide
+	// deliveries recycles in-flight message-delivery events (see Send): a
+	// steady request/response exchange reuses the same few objects instead
+	// of allocating one closure plus one header per message.
+	deliveries []*delivery
 
 	// Observation (the SystemTap surface).
 	sysObs    []func(SyscallEvent)
 	threadObs []func(ThreadEvent)
 
 	ksg    kstreamGen
-	kcache [NumSyscalls + 1][][]isa.Instr
+	kcache [NumSyscalls + 1][]*cpu.Trace
 	kvar   [NumSyscalls + 1]uint8
 }
 
@@ -190,8 +197,23 @@ type Thread struct {
 	CtxSwitches uint64
 	lastWakeSrc string
 
-	tail    [1]isa.Instr // reusable payload-copy instruction
-	timerFn func()       // reusable timer-wake closure (Sleep, RecvTimeout)
+	tail       [1]isa.Instr // reusable payload-copy instruction
+	timerFn    func()       // reusable timer-wake closure (Sleep, RecvTimeout)
+	dispatchFn func()       // reusable wake->dispatch event closure
+
+	// Disk-wait state for the thread's single in-flight Pread: the number
+	// of outstanding batched reads plus the shared completion closure.
+	diskPending int
+	diskFn      func()
+	preadRuns   []int // reusable missing-page run lengths
+
+	fdPool []*FD // recycled descriptors (CloseFD refills, Open drains)
+
+	// burst and itemBuf are the thread's reusable CPU-work submission: a
+	// thread has at most one burst in flight (compute blocks until it
+	// completes), so the whole submit path reuses this storage.
+	burst   burst
+	itemBuf [2]burstItem
 }
 
 // wakeTimer returns the thread's reusable timer-wake closure, building it on
@@ -218,6 +240,7 @@ func (p *Proc) Spawn(name string, fn func(*Thread)) *Thread {
 		resume:  make(chan struct{}),
 		Spawned: k.eng.Now(),
 	}
+	t.dispatchFn = func() { k.dispatch(t) }
 	p.liveThreads++
 	p.spawnedEver++
 	k.threads = append(k.threads, t)
@@ -276,7 +299,7 @@ func (k *Kernel) wake(t *Thread, source string) {
 	t.lastWakeSrc = source
 	k.emitThread(ThreadEvent{Time: k.eng.Now(), TID: t.ID, Proc: t.Proc.Name,
 		Thread: t.Name, Kind: ThreadWake, Source: source})
-	k.eng.AfterFunc(0, func() { k.dispatch(t) })
+	k.eng.AfterFunc(0, t.dispatchFn)
 }
 
 // KillProc terminates every thread of p (a process crash), unbinds its
@@ -310,22 +333,33 @@ func (k *Kernel) KillProc(p *Proc) {
 func (k *Kernel) Stop() {
 	k.stopping = true
 	for _, t := range k.threads {
-		t := t
 		if !t.done {
-			k.eng.AfterFunc(0, func() { k.dispatch(t) })
+			k.eng.AfterFunc(0, t.dispatchFn)
 		}
 	}
 }
 
 // ---- Scheduler ----
 
+// burstItem is one stream of a burst, either pre-decoded (cached kernel and
+// request streams) or raw (ad-hoc streams, decoded into the core's scratch
+// at execution time).
+type burstItem struct {
+	trace  *cpu.Trace
+	stream []isa.Instr
+}
+
 // burst is one schedulable unit of CPU work: one or more instruction
-// streams executed back to back on the same core.
+// streams executed back to back on the same core. Each thread owns exactly
+// one burst (compute blocks until it finishes), so bursts are pooled in the
+// Thread and the submit path is allocation-free.
 type burst struct {
-	t       *Thread
-	streams [][]isa.Instr
-	res     cpu.Result
-	done    bool
+	t      *Thread
+	items  []burstItem
+	res    cpu.Result
+	done   bool
+	coreID int
+	finish func() // reusable completion-event closure
 }
 
 // submit enqueues a burst and starts it if a core is idle.
@@ -336,17 +370,24 @@ func (k *Kernel) submit(b *burst) {
 
 // pump assigns queued bursts to idle cores.
 func (k *Kernel) pump() {
-	for len(k.idleCores) > 0 && len(k.runq) > 0 {
+	for len(k.idleCores) > 0 && k.runqHead < len(k.runq) {
 		coreID := k.idleCores[len(k.idleCores)-1]
 		k.idleCores = k.idleCores[:len(k.idleCores)-1]
-		b := k.runq[0]
-		k.runq = k.runq[1:]
+		b := k.runq[k.runqHead]
+		k.runq[k.runqHead] = nil
+		k.runqHead++
+		if k.runqHead == len(k.runq) {
+			k.runq = k.runq[:0]
+			k.runqHead = 0
+		}
 		k.runBurst(coreID, b)
 	}
 }
 
 // runBurst executes b on coreID, charging a context switch when the core
-// last ran a different thread.
+// last ran a different thread. The result accumulates directly into b.res
+// and completion fires through the burst's reusable closure, keeping the
+// per-burst path allocation-free.
 func (k *Kernel) runBurst(coreID int, b *burst) {
 	core := k.res.Cores[coreID]
 	var extra sim.Time
@@ -355,25 +396,33 @@ func (k *Kernel) runBurst(coreID int, b *burst) {
 		if prev.Proc != b.t.Proc {
 			core.ContextSwitch() // private-cache pollution across processes
 		}
-		csRes := core.Execute(k.kstream(opCtxSwitch))
+		csRes := core.ExecuteTrace(k.kstream(opCtxSwitch))
 		b.t.Proc.Counters.Add(csRes.Counters)
 		extra = core.Time(csRes.Cycles)
 	}
 	k.coreThread[coreID] = b.t
-	var res cpu.Result
-	for _, s := range b.streams {
-		r := core.Execute(s)
-		res.Cycles += r.Cycles
-		res.Counters.Add(r.Counters)
+	b.res = cpu.Result{}
+	for _, it := range b.items {
+		var r cpu.Result
+		if it.trace != nil {
+			r = core.ExecuteTrace(it.trace)
+		} else {
+			r = core.Execute(it.stream)
+		}
+		b.res.Cycles += r.Cycles
+		b.res.Counters.Add(r.Counters)
 	}
-	dur := extra + core.Time(res.Cycles)
-	k.eng.AfterFunc(dur, func() {
-		b.res = res
-		b.done = true
-		k.idleCores = append(k.idleCores, coreID)
-		k.wake(b.t, "cpu")
-		k.pump()
-	})
+	b.coreID = coreID
+	if b.finish == nil {
+		b.finish = func() {
+			bk := b.t.k
+			b.done = true
+			bk.idleCores = append(bk.idleCores, b.coreID)
+			bk.wake(b.t, "cpu")
+			bk.pump()
+		}
+	}
+	k.eng.AfterFunc(extra+core.Time(b.res.Cycles), b.finish)
 }
 
 // kvariantCount is how many pregenerated variants of each syscall's kernel
@@ -381,13 +430,15 @@ func (k *Kernel) runBurst(coreID int, b *burst) {
 // memorize a single pattern, cheap enough to generate once.
 const kvariantCount = 8
 
-// kstream returns the next pregenerated kernel stream for op.
-func (k *Kernel) kstream(op SyscallOp) []isa.Instr {
+// kstream returns the next pregenerated kernel stream for op, decoded once
+// at pregeneration so the scheduler replays traces instead of re-deriving
+// static instruction facts on every syscall.
+func (k *Kernel) kstream(op SyscallOp) *cpu.Trace {
 	if k.kcache[op] == nil {
-		vs := make([][]isa.Instr, kvariantCount)
+		vs := make([]*cpu.Trace, kvariantCount)
 		for i := range vs {
 			var buf []isa.Instr
-			vs[i] = k.ksg.gen(&buf, op, 0, 0)
+			vs[i] = cpu.NewTrace(k.ksg.gen(&buf, op, 0, 0))
 		}
 		k.kcache[op] = vs
 	}
@@ -398,9 +449,14 @@ func (k *Kernel) kstream(op SyscallOp) []isa.Instr {
 
 // compute runs one instruction burst to completion, blocking the thread for
 // its simulated duration, and accumulates counters into the process. All
-// streams must stay unmodified until compute returns.
-func (t *Thread) compute(streams ...[]isa.Instr) cpu.Result {
-	b := &burst{t: t, streams: streams}
+// streams and traces must stay unmodified until compute returns. items must
+// alias t.itemBuf (or otherwise outlive the burst).
+func (t *Thread) compute(items []burstItem) cpu.Result {
+	b := &t.burst
+	b.t = t
+	b.items = items
+	b.res = cpu.Result{}
+	b.done = false
 	t.k.submit(b)
 	for !b.done {
 		t.park()
@@ -416,7 +472,19 @@ func (t *Thread) Run(stream []isa.Instr) cpu.Result {
 	if t.Proc.observer != nil {
 		t.Proc.observer(stream)
 	}
-	return t.compute(stream)
+	t.itemBuf[0] = burstItem{stream: stream}
+	return t.compute(t.itemBuf[:1])
+}
+
+// RunTrace executes a pre-decoded user-level stream — the cached-request
+// hot path. The observer sees the trace's source stream, exactly as Run
+// would report it.
+func (t *Thread) RunTrace(tr *cpu.Trace) cpu.Result {
+	if t.Proc.observer != nil {
+		t.Proc.observer(tr.Stream)
+	}
+	t.itemBuf[0] = burstItem{trace: tr}
+	return t.compute(t.itemBuf[:1])
 }
 
 // Sleep blocks the thread for d of simulated time (nanosleep).

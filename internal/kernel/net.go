@@ -154,25 +154,62 @@ func (t *Thread) TryAccept(l *Listener) *Endpoint {
 
 // Send transmits a message. The caller pays the TCP transmit path (scaled
 // by size) and returns once the data is handed to the NIC; delivery is
-// asynchronous.
+// asynchronous via a pooled delivery event.
 func (t *Thread) Send(e *Endpoint, bytes int, payload any) {
 	t.syscallEnter(SysSend, bytes, "socket")
 	t.Proc.NetTxBytes += uint64(bytes)
 	k := t.k
 	dstSide := e.peer
 	path := k.path(dstSide.k)
-	msg := Msg{Bytes: bytes, Payload: payload, Sent: k.eng.Now()}
-	netsim.Send(k.eng, path, bytes, func() {
-		if dstSide.closed {
-			return
-		}
-		dstSide.inbox = append(dstSide.inbox, msg)
-		if dstSide.proc != nil {
-			dstSide.proc.NetRxBytes += uint64(bytes)
-		}
-		wakeAll(dstSide.k, &dstSide.waiters, "socket")
-		notifyEpolls(dstSide.k, dstSide.epolls)
-	})
+	d := k.newDelivery(dstSide, Msg{Bytes: bytes, Payload: payload, Sent: k.eng.Now()})
+	netsim.Send(k.eng, path, bytes, d.fn)
+}
+
+// delivery is one in-flight message handoff: the callback netsim invokes at
+// arrival time. Objects recycle through the sending kernel's pool; the
+// bound fn closure is allocated once per object. A faulted-and-dropped send
+// never fires its callback, so that object simply stays out of the pool.
+type delivery struct {
+	k    *Kernel // pool owner (the sending kernel)
+	side *connSide
+	msg  Msg
+	fn   func()
+}
+
+// newDelivery takes a delivery object from the pool (or mints one) and arms
+// it with the destination and message.
+func (k *Kernel) newDelivery(side *connSide, msg Msg) *delivery {
+	var d *delivery
+	if n := len(k.deliveries); n > 0 {
+		d = k.deliveries[n-1]
+		k.deliveries = k.deliveries[:n-1]
+	} else {
+		d = &delivery{k: k}
+		d.fn = d.run
+	}
+	d.side = side
+	d.msg = msg
+	return d
+}
+
+// run performs the delivery: queue the message, account received bytes, and
+// wake blocked receivers and epoll waiters. The object returns to the pool
+// first — the event is single-shot, so it is free for reuse the moment its
+// payload has been copied out.
+func (d *delivery) run() {
+	side, msg := d.side, d.msg
+	d.side = nil
+	d.msg = Msg{}
+	d.k.deliveries = append(d.k.deliveries, d)
+	if side.closed {
+		return
+	}
+	side.inbox = append(side.inbox, msg)
+	if side.proc != nil {
+		side.proc.NetRxBytes += uint64(msg.Bytes)
+	}
+	wakeAll(side.k, &side.waiters, "socket")
+	notifyEpolls(side.k, side.epolls)
 }
 
 // Recv blocks until a message arrives, then charges the receive path
@@ -265,6 +302,7 @@ type Epoll struct {
 	conns     []*Endpoint
 	listeners []*Listener
 	waiters   []*Thread
+	ready     []Ready // reusable EpollWait result buffer
 }
 
 // NewEpoll creates an epoll instance.
@@ -295,11 +333,13 @@ type Ready struct {
 }
 
 // EpollWait blocks until at least one registered source is readable and
-// returns the ready set (level-triggered scan).
+// returns the ready set (level-triggered scan). The returned slice reuses
+// the epoll instance's buffer: it is valid until the next EpollWait on the
+// same instance.
 func (t *Thread) EpollWait(ep *Epoll) []Ready {
 	t.syscallEnter(SysEpollWait, 0, "socket")
 	for {
-		var ready []Ready
+		ready := ep.ready[:0]
 		for _, e := range ep.conns {
 			if len(e.mine.inbox) > 0 {
 				ready = append(ready, Ready{Conn: e})
@@ -310,6 +350,7 @@ func (t *Thread) EpollWait(ep *Epoll) []Ready {
 				ready = append(ready, Ready{Listener: l})
 			}
 		}
+		ep.ready = ready
 		if len(ready) > 0 {
 			return ready
 		}

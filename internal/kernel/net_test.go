@@ -137,15 +137,18 @@ func TestKernelStreamVariantsRotate(t *testing.T) {
 	k := testMachine(eng, "m", 1)
 	first := k.kstream(SysSend)
 	second := k.kstream(SysSend)
-	if &first[0] == &second[0] {
+	if first == second {
 		t.Fatal("consecutive calls should rotate variants")
+	}
+	if &first.Stream[0] == &second.Stream[0] {
+		t.Fatal("rotated variants should be distinct streams")
 	}
 	// After kvariantCount calls the rotation wraps to the first variant.
 	for i := 2; i < kvariantCount; i++ {
 		k.kstream(SysSend)
 	}
 	wrapped := k.kstream(SysSend)
-	if &first[0] != &wrapped[0] {
+	if first != wrapped {
 		t.Fatal("variant rotation should wrap")
 	}
 }

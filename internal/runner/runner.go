@@ -155,15 +155,22 @@ type Options struct {
 	Progress func(done, total, failed int, r CellResult)
 }
 
+// EffectiveWidth resolves a requested Parallel option to the worker-pool
+// width Run actually uses: <= 0 means GOMAXPROCS. Reports that cite a pool
+// width must cite this value, not the request.
+func EffectiveWidth(parallel int) int {
+	if parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallel
+}
+
 // Run executes the plan and returns one result per cell in plan order.
 // Each cell's output is buffered and written to w in plan order regardless
 // of completion order. A panicking cell is captured as its result's Err;
 // the other cells keep running.
 func Run(w io.Writer, p *Plan, opt Options) []CellResult {
-	par := opt.Parallel
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
+	par := EffectiveWidth(opt.Parallel)
 	results := make([]CellResult, len(p.cells))
 	outputs := make([][]byte, len(p.cells))
 	done := make([]bool, len(p.cells))

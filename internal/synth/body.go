@@ -18,7 +18,7 @@ import (
 type Body struct {
 	spec      *core.BodySpec
 	arrayBase uint64
-	branches  [][]*branch.BitmaskBranch // per block, per slot (nil: not a branch)
+	branches  [][]branch.BitmaskBranch // per block, per slot (zero: not a branch)
 	loopAcc   []float64
 	cursors   []uint64 // per region sequential sweep positions
 	scramble  uint64
@@ -35,15 +35,14 @@ func NewBody(spec *core.BodySpec, arrayBase uint64, seed int64) *Body {
 		scramble:  uint64(seed)*0x9E3779B97F4A7C15 + 0x1234,
 	}
 	rng := stats.NewRand(seed ^ 0x5EED)
-	b.branches = make([][]*branch.BitmaskBranch, len(spec.Blocks))
+	b.branches = make([][]branch.BitmaskBranch, len(spec.Blocks))
 	for bi := range spec.Blocks {
 		blk := &spec.Blocks[bi]
-		bb := make([]*branch.BitmaskBranch, len(blk.Instrs))
+		bb := make([]branch.BitmaskBranch, len(blk.Instrs))
 		for s := range blk.Aux {
 			if blk.Aux[s].IsBranch {
-				br := branch.NewBitmaskBranch(blk.Aux[s].M, blk.Aux[s].N)
-				br.SetPhase(rng.Uint64() % (1 << 11))
-				bb[s] = br
+				bb[s] = branch.MakeBitmaskBranch(blk.Aux[s].M, blk.Aux[s].N)
+				bb[s].SetPhase(rng.Uint64() % (1 << 11))
 			}
 		}
 		b.branches[bi] = bb

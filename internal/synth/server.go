@@ -18,19 +18,21 @@ type Server struct {
 	app.Base
 	Spec *core.SynthSpec
 
-	bodies map[int]*Body // per worker
-	file   *kernel.File
-	offRng *stats.Rand
-	sysAcc map[int][]float64 // per worker, per plan entry
+	bodies  map[int]*Body // per worker
+	streams map[int]*app.StreamCache
+	file    *kernel.File
+	offRng  *stats.Rand
+	sysAcc  map[int][]float64 // per worker, per plan entry
 }
 
 // NewServer builds the synthetic server on m.
 func NewServer(m *platform.Machine, port int, spec *core.SynthSpec, seed int64) *Server {
 	s := &Server{
-		Spec:   spec,
-		bodies: map[int]*Body{},
-		offRng: stats.NewRand(seed ^ 0x0FF5E7),
-		sysAcc: map[int][]float64{},
+		Spec:    spec,
+		bodies:  map[int]*Body{},
+		streams: map[int]*app.StreamCache{},
+		offRng:  stats.NewRand(seed ^ 0x0FF5E7),
+		sysAcc:  map[int][]float64{},
 	}
 	s.Base = app.NewBaseFor(spec.Name, m, port, seed)
 	return s
@@ -44,6 +46,16 @@ func (s *Server) body(w int) *Body {
 		s.bodies[w] = b
 	}
 	return b
+}
+
+// cache returns worker w's rotating pregenerated-stream cache.
+func (s *Server) cache(w int) *app.StreamCache {
+	c := s.streams[w]
+	if c == nil {
+		c = app.NewStreamCache(s.body(w))
+		s.streams[w] = c
+	}
+	return c
 }
 
 // Start instantiates the skeleton and launches threads.
@@ -112,7 +124,7 @@ func (s *Server) Start() {
 // handle serves one synthetic request: syscall replay, body, response.
 func (s *Server) handle(th *kernel.Thread, w int, conn *kernel.Endpoint, msg kernel.Msg) {
 	s.replaySyscalls(th, w)
-	th.Run(s.body(w).EmitRequest(0, nil))
+	th.RunTrace(s.cache(w).Next(0))
 	resp := s.Spec.RespBytes
 	if resp <= 0 {
 		resp = 64
