@@ -1,11 +1,19 @@
-// Command dittolint is the CLI surface of the static-analysis layer
-// (internal/verify). It runs in one of two modes:
+// Command dittolint is the CLI surface of the static-analysis suite
+// (internal/analysis, reported through internal/verify). It runs in one of
+// three modes:
 //
-// Determinism lint (default): parse and type-check the deterministic model
-// packages and flag wall-clock reads, global math/rand draws, and
-// map-iteration-order-dependent accumulation.
+// Determinism lint (default): run the multi-analyzer suite — wall-clock,
+// global-rand, map-range, shared-state, no-goroutine — over the
+// deterministic model packages. All analyzers honor the uniform
+// ditto:determinism-ok suppression comment.
 //
-//	dittolint [-root dir] [-json] [pkg/dir ...]
+//	dittolint [-root dir] [-json] [-analyzers a,b] [pkg/dir ...]
+//
+// Noalloc gate (-noalloc): compile the target packages with -gcflags=-m
+// and fail when a ditto:noalloc-annotated function contains a heap
+// allocation — the static twin of the testing.AllocsPerRun gates.
+//
+//	dittolint -noalloc [-root dir] [-json] [pkg/dir ...]
 //
 // Clone verification (-spec): run the Layer-1 clone verifier over a
 // generated spec (dittogen -o) against the profile it came from.
@@ -19,7 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"ditto/internal/analysis"
 	"ditto/internal/core"
 	"ditto/internal/profile"
 	"ditto/internal/verify"
@@ -27,27 +37,23 @@ import (
 
 func main() {
 	var (
-		root     = flag.String("root", ".", "module root to lint")
-		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
-		specPath = flag.String("spec", "", "generated SynthSpec JSON to verify instead of linting")
-		profPath = flag.String("profile", "", "AppProfile JSON the spec was generated from (with -spec)")
+		root      = flag.String("root", ".", "module root to lint")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		noalloc   = flag.Bool("noalloc", false, "run the escape-analysis gate over ditto:noalloc functions")
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+		specPath  = flag.String("spec", "", "generated SynthSpec JSON to verify instead of linting")
+		profPath  = flag.String("profile", "", "AppProfile JSON the spec was generated from (with -spec)")
 	)
 	flag.Parse()
 
 	var rep *verify.Report
-	if *specPath != "" {
+	switch {
+	case *specPath != "":
 		rep = verifySpec(*specPath, *profPath)
-	} else {
-		dirs := flag.Args()
-		if len(dirs) == 0 {
-			dirs = verify.DeterministicPackages
-		}
-		var err error
-		rep, err = verify.Lint(*root, dirs)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "dittolint: %v\n", err)
-			os.Exit(1)
-		}
+	case *noalloc:
+		rep = run(verify.LintNoalloc(*root, targetDirs(verify.NoallocPackages)))
+	default:
+		rep = run(verify.LintWith(*root, targetDirs(verify.DeterministicPackages), selectAnalyzers(*analyzers)))
 	}
 
 	if *jsonOut {
@@ -63,6 +69,50 @@ func main() {
 	if !rep.OK() {
 		os.Exit(1)
 	}
+}
+
+// run unwraps a report-producing call, exiting on operational failure.
+func run(rep *verify.Report, err error) *verify.Report {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dittolint: %v\n", err)
+		os.Exit(1)
+	}
+	return rep
+}
+
+// targetDirs returns the positional package dirs, or the default set.
+func targetDirs(defaults []string) []string {
+	if dirs := flag.Args(); len(dirs) > 0 {
+		return dirs
+	}
+	return defaults
+}
+
+// selectAnalyzers resolves the -analyzers flag against the suite.
+func selectAnalyzers(names string) []*analysis.Analyzer {
+	if names == "" {
+		return analysis.All()
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analysis.All() {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for _, s := range analysis.All() {
+				known = append(known, s.Name)
+			}
+			fmt.Fprintf(os.Stderr, "dittolint: unknown analyzer %q (known: %s)\n",
+				name, strings.Join(known, ", "))
+			os.Exit(2)
+		}
+		picked = append(picked, a)
+	}
+	return picked
 }
 
 func verifySpec(specPath, profPath string) *verify.Report {

@@ -1,0 +1,90 @@
+// Package analysis is Ditto's static-analysis suite: a multi-analyzer
+// framework modeled on the golang.org/x/tools/go/analysis API (the module
+// is dependency-free, so the driver, loader and analysistest harness are
+// implemented here rather than imported), plus the determinism and hot-path
+// analyzers that guard the simulator's core promise — one seed reproduces a
+// whole experiment, at zero steady-state allocation cost.
+//
+// Analyzers (one file each, fixtures under testdata/src/<name>):
+//
+//	wall-clock    time.Now/Since/Until reads in deterministic packages
+//	global-rand   draws from the global math/rand stream
+//	map-range     map iteration whose order can leak into results
+//	shared-state  package-level mutable vars written outside init
+//	no-goroutine  bare go statements and channel operations
+//	noalloc       heap allocations inside ditto:noalloc functions
+//	              (escape-analysis gate, see noalloc.go; not AST-based)
+//
+// Every analyzer honors one uniform suppression syntax: a reviewed-safe
+// construct carries a comment containing "ditto:determinism-ok" on its own
+// line or the line above. Suppression is applied by the driver, not by the
+// analyzers, so no analyzer can forget it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static-analysis pass: a name, a doc string,
+// and a Run function applied to one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer and doubles as the finding rule in
+	// reports. By convention it is short and kebab-case.
+	Name string
+
+	// Doc is the one-paragraph description shown by dittolint -help.
+	Doc string
+
+	// Run applies the analyzer to one package, reporting diagnostics
+	// through pass.Report. The error return is for operational failures
+	// (not findings); a failing Run aborts the whole driver run.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package and a sink
+// for its diagnostics. Mirrors go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver filters suppressed
+	// lines and converts positions, so analyzers just report.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding of one analyzer, positioned by token.Pos
+// within the pass's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a driver-level diagnostic: resolved position, owning
+// analyzer, stable across runs.
+type Finding struct {
+	Analyzer string // Analyzer.Name
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// All returns the AST-based analyzer suite in its canonical order. The
+// noalloc gate is not part of this set: it drives the compiler's escape
+// analysis rather than an AST walk (see Noalloc).
+func All() []*Analyzer {
+	return []*Analyzer{WallClock, GlobalRand, MapRange, SharedState, NoGoroutine}
+}

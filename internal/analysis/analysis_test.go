@@ -1,0 +1,84 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ditto/internal/analysis"
+	"ditto/internal/analysis/analysistest"
+)
+
+// The per-analyzer fixtures each hold positive, negative and suppressed
+// cases; the want comments in testdata/src/<name> are the assertions.
+
+func TestWallClockFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.WallClock, "wallclock")
+}
+
+func TestGlobalRandFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.GlobalRand, "globalrand")
+}
+
+func TestMapRangeFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.MapRange, "maprange")
+}
+
+func TestSharedStateFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.SharedState, "sharedstate")
+}
+
+func TestNoGoroutineFixture(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.NoGoroutine, "nogoroutine")
+}
+
+// TestNoallocFixture drives the full go build -gcflags=-m round trip over
+// the fixture module: the annotated allocating function must fail, the
+// annotated clean and the unannotated allocating functions must not, and
+// the suppressed cold-path allocation must be tolerated.
+func TestNoallocFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the fixture module; skipped in -short")
+	}
+	analysistest.RunNoalloc(t, "testdata", "noalloc")
+}
+
+// TestUniformSuppression runs the whole suite over the mixed fixture: five
+// suppressed constructs and their five unsuppressed siblings. Exactly one
+// finding per analyzer proves suppression is driver-level — no analyzer
+// can forget it — and that a suppression never shields a sibling line.
+func TestUniformSuppression(t *testing.T) {
+	findings, err := analysis.Run("testdata", []string{"src/suppression"}, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	perAnalyzer := map[string]int{}
+	for _, f := range findings {
+		perAnalyzer[f.Analyzer]++
+	}
+	for _, a := range analysis.All() {
+		if perAnalyzer[a.Name] != 1 {
+			t.Errorf("analyzer %s: %d findings, want exactly 1 (suppressed pair leaked or sibling shielded)",
+				a.Name, perAnalyzer[a.Name])
+		}
+	}
+	if len(findings) != len(analysis.All()) {
+		t.Errorf("suite produced %d findings, want %d:\n%v", len(findings), len(analysis.All()), findings)
+	}
+}
+
+// TestFindingsSorted pins the driver's report order: findings come back
+// sorted by file, line, column, analyzer — the stability the JSON report
+// consumers rely on.
+func TestFindingsSorted(t *testing.T) {
+	findings, err := analysis.Run("testdata",
+		[]string{"src/suppression", "src/maprange"}, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Fatalf("findings out of order: %s before %s", a, b)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against expectations written in the fixture source,
+// mirroring golang.org/x/tools/go/analysis/analysistest (implemented here
+// because the module is dependency-free).
+//
+// A fixture is a package under <testdata>/src/<name> inside a fixture
+// module (testdata has its own go.mod, so the repo's own build and lint
+// never see it). Expectations are trailing comments:
+//
+//	total += rand.Float64() // want "global random stream"
+//
+// Each double-quoted string is a regexp that must match the message of
+// exactly one diagnostic reported on that line; any diagnostic on a line
+// without a matching want, and any want without a diagnostic, fails the
+// test. Lines with no want comment assert the analyzer stays silent —
+// which is how fixtures prove both the negative cases and that a
+// ditto:determinism-ok suppression really removed a finding.
+package analysistest
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ditto/internal/analysis"
+)
+
+// Run applies one analyzer to the fixture package <testdata>/src/<pkg> and
+// checks its findings against the fixture's want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := "src/" + pkg
+	findings, err := analysis.Run(testdata, []string{dir}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	check(t, filepath.Join(testdata, dir), findings)
+}
+
+// RunNoalloc applies the escape-analysis gate to the fixture package and
+// checks its findings the same way. The fixture module is compiled with
+// the real toolchain, so the test exercises the full go build -gcflags=-m
+// round trip.
+func RunNoalloc(t *testing.T, testdata, pkg string) {
+	t.Helper()
+	dir := "src/" + pkg
+	findings, err := analysis.Noalloc(testdata, []string{dir})
+	if err != nil {
+		t.Fatalf("noalloc gate on %s: %v", dir, err)
+	}
+	check(t, filepath.Join(testdata, dir), findings)
+}
+
+// expectation is one want string: a line and a message pattern, consumed
+// by at most one finding.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE matches the trailing want comment; the payload is parsed as a
+// sequence of Go double-quoted strings.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// check compares findings against the want comments of every .go file in
+// fixtureDir.
+func check(t *testing.T, fixtureDir string, findings []analysis.Finding) {
+	t.Helper()
+	expects := collectWants(t, fixtureDir)
+	for _, f := range findings {
+		if e := matchExpectation(expects, f); e == nil {
+			t.Errorf("unexpected diagnostic at %s:%d: [%s] %s",
+				filepath.Base(f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.used {
+			t.Errorf("no diagnostic at %s:%d matching %q", e.file, e.line, e.re)
+		}
+	}
+}
+
+// matchExpectation consumes the first unused expectation that matches the
+// finding's file, line and message.
+func matchExpectation(expects []*expectation, f analysis.Finding) *expectation {
+	base := filepath.Base(f.Pos.Filename)
+	for _, e := range expects {
+		if !e.used && e.file == base && e.line == f.Pos.Line && e.re.MatchString(f.Message) {
+			e.used = true
+			return e
+		}
+	}
+	return nil
+}
+
+// collectWants scans the fixture sources for want comments.
+func collectWants(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture dir: %v", err)
+	}
+	var expects []*expectation
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		expects = append(expects, fileWants(t, dir, name)...)
+	}
+	return expects
+}
+
+func fileWants(t *testing.T, dir, name string) []*expectation {
+	t.Helper()
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var expects []*expectation
+	sc := bufio.NewScanner(f)
+	for line := 1; sc.Scan(); line++ {
+		m := wantRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		for _, pat := range parseWantStrings(t, name, line, m[1]) {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", name, line, pat, err)
+			}
+			expects = append(expects, &expectation{file: name, line: line, re: re})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return expects
+}
+
+// parseWantStrings reads the sequence of double-quoted strings after
+// "want".
+func parseWantStrings(t *testing.T, name string, line int, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			t.Fatalf("%s:%d: want payload must be double-quoted strings, got %q", name, line, s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+			end++
+		}
+		if end == len(s) {
+			t.Fatalf("%s:%d: unterminated want string in %q", name, line, s)
+		}
+		pat, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			t.Fatalf("%s:%d: bad want string %q: %v", name, line, s[:end+1], err)
+		}
+		pats = append(pats, pat)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return pats
+}

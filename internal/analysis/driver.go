@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Run loads each module-relative package directory under root, applies
+// every analyzer to every package, filters suppressed lines, and returns
+// the surviving findings sorted by position then analyzer. Test files are
+// not analyzed, but imports resolve through the module so types are exact.
+func Run(root string, pkgDirs []string, analyzers []*Analyzer) ([]Finding, error) {
+	ld, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, dir := range pkgDirs {
+		lp, err := ld.loadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		fs, err := runPackage(ld.fset, lp, analyzers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+// runPackage applies the analyzers to one loaded package and filters the
+// diagnostics through the uniform suppression map.
+func runPackage(fset *token.FileSet, lp *loadedPkg, analyzers []*Analyzer) ([]Finding, error) {
+	suppressed := map[string]map[int]bool{}
+	for _, f := range lp.files {
+		name := fset.Position(f.Pos()).Filename
+		suppressed[name] = suppressedLines(fset, f)
+	}
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     lp.files,
+			Pkg:       lp.pkg,
+			TypesInfo: lp.info,
+		}
+		pass.Report = func(d Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if suppressed[pos.Filename][pos.Line] {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	return findings, nil
+}
+
+// sortFindings orders findings by file, line, column, then analyzer name,
+// so reports are stable across runs and analyzer registration order.
+func sortFindings(fs []Finding) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

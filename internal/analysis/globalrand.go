@@ -1,0 +1,43 @@
+package analysis
+
+import "go/ast"
+
+// GlobalRand flags draws from the global math/rand stream. The global
+// stream is process-wide mutable state: two cells drawing from it observe
+// each other, and -parallel width changes every result. Deterministic code
+// seeds its own stream (stats.NewRand, rand.New) and passes it down.
+var GlobalRand = &Analyzer{
+	Name: "global-rand",
+	Doc: "flag package-level math/rand draws; " +
+		"use a seeded stats.Rand passed through the call chain",
+	Run: runGlobalRand,
+}
+
+// randConstructors are the seeded entry points of math/rand that do not
+// touch the global stream.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runGlobalRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calledFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			pkgPath := fn.Pkg().Path()
+			if (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[fn.Name()] {
+				pass.Reportf(call.Pos(),
+					"%s draws from the global random stream; use a seeded stats.Rand",
+					fn.FullName())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// loadedPkg is one parsed and type-checked package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves and type-checks packages of one module, importing module
+// siblings recursively and the standard library through the source
+// importer (export data for the stdlib is not shipped with modern
+// toolchains, so compiling from GOROOT source is the hermetic choice).
+type loader struct {
+	fset   *token.FileSet
+	root   string
+	module string
+	std    types.Importer
+	pkgs   map[string]*loadedPkg // keyed by module-relative dir
+	stack  map[string]bool
+}
+
+func newLoader(root string) (*loader, error) {
+	modData, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("module root: %w", err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(modData), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("no module directive in %s/go.mod", root)
+	}
+	fset := token.NewFileSet()
+	return &loader{
+		fset:   fset,
+		root:   root,
+		module: module,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   map[string]*loadedPkg{},
+		stack:  map[string]bool{},
+	}, nil
+}
+
+// Import implements types.Importer over the module + stdlib split.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if rel, ok := strings.CutPrefix(path, l.module+"/"); ok {
+		lp, err := l.loadDir(rel)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadDir parses and type-checks one module-relative package directory,
+// memoized.
+func (l *loader) loadDir(rel string) (*loadedPkg, error) {
+	rel = filepath.ToSlash(filepath.Clean(rel))
+	if lp, ok := l.pkgs[rel]; ok {
+		return lp, nil
+	}
+	if l.stack[rel] {
+		return nil, fmt.Errorf("import cycle through %s", rel)
+	}
+	l.stack[rel] = true
+	defer delete(l.stack, rel)
+
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(l.module+"/"+rel, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[rel] = lp
+	return lp, nil
+}

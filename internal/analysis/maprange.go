@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags map iteration whose order can leak into results. Go
+// randomizes map order per iteration, so any accumulation, emission or
+// mutation driven by an unordered range is a determinism leak.
+//
+// Two shapes are tolerated:
+//
+//   - the collect-keys idiom `for k := range m { keys = append(keys, k) }`,
+//     whose output is expected to be sorted before use;
+//   - a range carrying a reviewed ditto:determinism-ok suppression
+//     (applied uniformly by the driver, like every analyzer).
+var MapRange = &Analyzer{
+	Name: "map-range",
+	Doc: "flag map iteration outside the collect-keys idiom; " +
+		"sort keys first or suppress a reviewed-safe loop",
+	Run: runMapRange,
+}
+
+func runMapRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isCollectKeysIdiom(pass.TypesInfo, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"iteration over %s is unordered; sort the keys first, or annotate a reviewed-safe loop with %q",
+				t, SuppressionMarker)
+			return true
+		})
+	}
+	return nil
+}
+
+// isCollectKeysIdiom recognizes `for k := range m { s = append(s, k) }`,
+// the standard prelude to sorted iteration.
+func isCollectKeysIdiom(info *types.Info, rng *ast.RangeStmt) bool {
+	if rng.Value != nil || rng.Body == nil || len(rng.Body.List) != 1 {
+		return false
+	}
+	keyIdent, ok := rng.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := info.Uses[fn]; !ok || obj != types.Universe.Lookup("append") {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	keyObj := info.Defs[keyIdent]
+	return keyObj != nil && info.Uses[arg] == keyObj
+}

@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NoallocMarker annotates a function whose steady-state path must not heap
+// allocate. It lives in the function's doc comment:
+//
+//	// ExecuteTrace runs the dynamic pass over a decoded trace.
+//	// ditto:noalloc
+//	func (c *Core) ExecuteTrace(tr *Trace) Result {
+//
+// The noalloc gate (Noalloc) compiles the annotated function's package
+// with -gcflags=-m and fails when the compiler's escape analysis places an
+// allocation inside the function's body. It is the static twin of the
+// testing.AllocsPerRun gates: the runtime gates prove the warm path
+// allocates zero bytes per op, the static gate pins the set of escape
+// sites so a regression is caught at build time, on every code path, not
+// just the ones a test happens to drive.
+//
+// A reviewed cold-path allocation inside an annotated function (e.g. a
+// first-use pregeneration branch) carries the same uniform
+// ditto:determinism-ok suppression as every other analyzer.
+const NoallocMarker = "ditto:noalloc"
+
+// noallocFunc is one annotated function: where it lives and which lines
+// its body spans.
+type noallocFunc struct {
+	name       string // display name, receiver included
+	file       string // path relative to the module root, slash-separated
+	start, end int
+}
+
+// escapeLine matches one escape-analysis diagnostic:
+// "path/file.go:line:col: message".
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// allocMessage reports whether an -m diagnostic describes a heap
+// allocation (rather than inlining or parameter-leak chatter).
+func allocMessage(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap")
+}
+
+// Noalloc runs the escape-analysis gate over the given module-relative
+// package directories: it collects ditto:noalloc-annotated functions,
+// compiles each annotated package with -gcflags=-m, and returns a finding
+// for every heap allocation the compiler places inside an annotated
+// function on a line without a reviewed suppression. Packages with no
+// annotated functions are not compiled.
+func Noalloc(root string, pkgDirs []string) ([]Finding, error) {
+	var findings []Finding
+	for _, dir := range pkgDirs {
+		fs, err := noallocPackage(root, dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		findings = append(findings, fs...)
+	}
+	sortFindings(findings)
+	return findings, nil
+}
+
+func noallocPackage(root, dir string) ([]Finding, error) {
+	funcs, suppressed, err := scanNoallocDir(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(funcs) == 0 {
+		return nil, nil
+	}
+	out, err := escapeAnalysis(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, line := range strings.Split(out, "\n") {
+		m := escapeLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil || !allocMessage(m[4]) {
+			continue
+		}
+		file := filepath.ToSlash(m[1])
+		lineNo, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		fn := enclosingNoalloc(funcs, file, lineNo)
+		if fn == nil || suppressed[file][lineNo] {
+			continue
+		}
+		findings = append(findings, Finding{
+			Analyzer: "noalloc",
+			Pos:      token.Position{Filename: filepath.Join(root, filepath.FromSlash(file)), Line: lineNo, Column: col},
+			Message:  fmt.Sprintf("%s is annotated %s but %s", fn.name, NoallocMarker, m[4]),
+		})
+	}
+	return findings, nil
+}
+
+// scanNoallocDir parses one package directory (no type checking — the
+// annotation scan is syntactic) and returns its annotated functions plus
+// the per-file suppression maps, keyed by root-relative slash path.
+func scanNoallocDir(root, dir string) ([]noallocFunc, map[string]map[int]bool, error) {
+	absDir := filepath.Join(root, filepath.FromSlash(dir))
+	entries, err := os.ReadDir(absDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	var funcs []noallocFunc
+	suppressed := map[string]map[int]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(absDir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		rel := filepath.ToSlash(filepath.Join(dir, name))
+		suppressed[rel] = suppressedLines(fset, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Doc == nil || !strings.Contains(fd.Doc.Text(), NoallocMarker) {
+				continue
+			}
+			funcs = append(funcs, noallocFunc{
+				name:  funcDisplayName(fd),
+				file:  rel,
+				start: fset.Position(fd.Pos()).Line,
+				end:   fset.Position(fd.End()).Line,
+			})
+		}
+	}
+	sort.Slice(funcs, func(i, j int) bool {
+		if funcs[i].file != funcs[j].file {
+			return funcs[i].file < funcs[j].file
+		}
+		return funcs[i].start < funcs[j].start
+	})
+	return funcs, suppressed, nil
+}
+
+// escapeAnalysis compiles one package with -gcflags=-m from the module
+// root and returns the compiler's diagnostics. The go tool replays cached
+// compiler output, so repeat runs are cheap.
+func escapeAnalysis(root, dir string) (string, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", "./"+filepath.ToSlash(dir))
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+	return string(out), nil
+}
+
+// enclosingNoalloc finds the annotated function whose body spans
+// file:line, or nil.
+func enclosingNoalloc(funcs []noallocFunc, file string, line int) *noallocFunc {
+	for i := range funcs {
+		f := &funcs[i]
+		if f.file == file && f.start <= line && line <= f.end {
+			return f
+		}
+	}
+	return nil
+}
+
+// funcDisplayName renders "Name" or "(Recv).Name" for diagnostics.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var b strings.Builder
+	b.WriteString("(")
+	writeRecvType(&b, fd.Recv.List[0].Type)
+	b.WriteString(").")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}
+
+// writeRecvType renders a receiver type expression (*T, T, T[...]).
+func writeRecvType(b *strings.Builder, t ast.Expr) {
+	switch e := t.(type) {
+	case *ast.StarExpr:
+		b.WriteString("*")
+		writeRecvType(b, e.X)
+	case *ast.Ident:
+		b.WriteString(e.Name)
+	case *ast.IndexExpr:
+		writeRecvType(b, e.X)
+	case *ast.IndexListExpr:
+		writeRecvType(b, e.X)
+	default:
+		b.WriteString("?")
+	}
+}

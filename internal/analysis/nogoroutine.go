@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoGoroutine flags bare concurrency in model packages: go statements,
+// channel sends/receives, select, range over a channel, and make(chan).
+// The simulator's determinism rests on a single-goroutine event engine;
+// all real concurrency is owned by internal/runner (the cell pool) and the
+// kernel's strict-handoff coroutine machinery. Anything else racing the
+// engine destroys replayability, so every other goroutine or channel op in
+// a deterministic package must either move behind the runner/engine or
+// carry a reviewed ditto:determinism-ok suppression.
+var NoGoroutine = &Analyzer{
+	Name: "no-goroutine",
+	Doc: "flag go statements and channel operations in model packages; " +
+		"route concurrency through the runner/engine",
+	Run: runNoGoroutine,
+}
+
+func runNoGoroutine(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(node.Pos(),
+					"bare go statement; concurrency must be owned by the runner or the engine")
+			case *ast.SendStmt:
+				pass.Reportf(node.Pos(),
+					"channel send; deterministic packages must not pass data over channels")
+			case *ast.UnaryExpr:
+				if node.Op == token.ARROW {
+					pass.Reportf(node.Pos(),
+						"channel receive; deterministic packages must not pass data over channels")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(node.Pos(),
+					"select statement; deterministic packages must not multiplex channels")
+			case *ast.RangeStmt:
+				if t := info.TypeOf(node.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						pass.Reportf(node.Pos(),
+							"range over channel; deterministic packages must not pass data over channels")
+					}
+				}
+			case *ast.CallExpr:
+				if isMakeChan(info, node) {
+					pass.Reportf(node.Pos(),
+						"make(chan) allocates a channel; deterministic packages must not own channels")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMakeChan reports whether call is make(chan T[, n]).
+func isMakeChan(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if obj, ok := info.Uses[fn]; !ok || obj != types.Universe.Lookup("make") {
+		return false
+	}
+	t := info.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SharedState flags writes to package-level variables outside init
+// functions and var initializers. A package-level var written at simulation
+// time is state shared by every cell in the process: two cells running in
+// the same pool observe each other's writes, and results change with
+// -parallel width. This is the exact bug class of kernel.procSeq (PR 2) —
+// a package-level sequence counter that leaked across cells until it was
+// moved into the Kernel struct.
+//
+// Reads are fine (lookup tables computed at init are the idiom all over the
+// model packages); only writes after init are flagged. Writes reached only
+// through a pointer (`p := &pkgVar; *p = x`) are not tracked — the analyzer
+// is a tripwire for the common shapes, not an alias analysis.
+var SharedState = &Analyzer{
+	Name: "shared-state",
+	Doc: "flag package-level vars written outside init; " +
+		"per-run state must live in a struct passed through the call chain",
+	Run: runSharedState,
+}
+
+func runSharedState(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isInitFunc(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range node.Lhs {
+						checkWrite(pass, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkWrite(pass, node.X)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isInitFunc reports whether fd is a package init function.
+func isInitFunc(fd *ast.FuncDecl) bool {
+	return fd.Recv == nil && fd.Name.Name == "init"
+}
+
+// checkWrite unwraps an assignment target down to the variable it mutates
+// and reports it if that variable is package-level. Index expressions are
+// unwrapped (writing m[k] mutates m's state); selector chains are followed
+// to their base (writing pkgVar.field mutates pkgVar); stars stop the walk
+// (a write through a pointer names the pointee, not the var).
+func checkWrite(pass *Pass, expr ast.Expr) {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			if v := pkgLevelVar(pass.TypesInfo.Uses[e.Sel]); v != nil {
+				reportSharedWrite(pass, e.Sel.Pos(), v)
+				return
+			}
+			expr = e.X
+		case *ast.Ident:
+			if v := pkgLevelVar(pass.TypesInfo.Uses[e]); v != nil {
+				reportSharedWrite(pass, e.Pos(), v)
+			}
+			return
+		default:
+			return
+		}
+	}
+}
+
+func reportSharedWrite(pass *Pass, pos token.Pos, v *types.Var) {
+	pass.Reportf(pos,
+		"package-level var %s is written outside init; per-run state must live in a struct passed through the call chain",
+		v.Name())
+}
+
+// pkgLevelVar returns obj as a package-scoped *types.Var, or nil.
+func pkgLevelVar(obj types.Object) *types.Var {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// SuppressionMarker is the one uniform reviewed-safe annotation. A comment
+// containing it suppresses every analyzer's findings on the comment's line
+// and on the line below — a trailing same-line comment or a dedicated line
+// above the construct both work:
+//
+//	for m := range touch { // ditto:determinism-ok idempotent state write
+//
+//	// ditto:determinism-ok strict-handoff coroutine channel
+//	<-t.resume
+//
+// Suppression is applied uniformly by the driver after every analyzer has
+// reported, so a new analyzer cannot forget to honor it. The marker is a
+// review record: the rest of the comment should say why the construct is
+// safe.
+const SuppressionMarker = "ditto:determinism-ok"
+
+// suppressedLines collects the lines of f on which the marker allows a
+// finding. A marker anywhere in a comment group suppresses every line the
+// group covers plus the line after it, so a multi-line review comment
+// above a construct works the same as a trailing one-liner.
+func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		if !groupHasMarker(cg) {
+			continue
+		}
+		start := fset.Position(cg.Pos()).Line
+		end := fset.Position(cg.End()).Line
+		for l := start; l <= end+1; l++ {
+			lines[l] = true
+		}
+	}
+	return lines
+}
+
+func groupHasMarker(cg *ast.CommentGroup) bool {
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, SuppressionMarker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,51 @@
+// Package maprange exercises the map-range analyzer: order-dependent
+// accumulation fires, the collect-keys idiom and slice ranges stay silent,
+// and a reviewed suppression removes a finding without shielding its
+// sibling.
+package maprange
+
+import "sort"
+
+// Accumulate folds map values in iteration order — fires.
+func Accumulate(m map[string]float64) float64 {
+	t := 0.0
+	for _, v := range m { // want "unordered"
+		t += v
+	}
+	return t
+}
+
+// CollectKeys is the tolerated prelude to sorted iteration.
+func CollectKeys(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SliceRange iterates an ordered sequence — silent.
+func SliceRange(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Suppressed has a reviewed commutative loop; the sibling loop below is
+// not the collect-keys idiom and must still fire.
+func Suppressed(m map[string]int) int {
+	n := 0
+	// ditto:determinism-ok fixture: commutative count
+	for range m {
+		n++
+	}
+
+	for k := range m { // want "unordered"
+		_ = k
+		n++
+	}
+	return n
+}

@@ -1,0 +1,41 @@
+// Package noalloc exercises the escape-analysis gate: an annotated
+// function that heap-allocates fails, an annotated allocation-free
+// function passes, an unannotated allocating function is out of scope, and
+// a reviewed suppression tolerates a cold-path allocation.
+package noalloc
+
+// sink forces allocations to escape; this fixture is only ever compiled
+// by the noalloc gate, never linted by the AST analyzers.
+var sink []byte
+
+// Leak is annotated yet allocates — the gate must fail it.
+// ditto:noalloc
+func Leak(n int) {
+	b := make([]byte, n) // want "escapes to heap"
+	sink = b
+}
+
+// Sum is annotated and clean: arithmetic over existing storage.
+// ditto:noalloc
+func Sum(xs []byte) int {
+	t := 0
+	for _, x := range xs {
+		t += int(x)
+	}
+	return t
+}
+
+// Grow allocates but carries no annotation — out of the gate's scope.
+func Grow(n int) {
+	sink = make([]byte, n)
+}
+
+// Cold is annotated; its single allocation is a reviewed first-use path.
+// ditto:noalloc
+func Cold(n int) int {
+	if sink == nil {
+		// ditto:determinism-ok fixture: reviewed first-use pregeneration
+		sink = make([]byte, n)
+	}
+	return len(sink)
+}

@@ -1,0 +1,56 @@
+// Package nogoroutine exercises the no-goroutine analyzer: go statements,
+// channel sends/receives, select, range-over-channel and make(chan) all
+// fire; plain sequential code stays silent; a reviewed suppression removes
+// a finding without shielding its sibling.
+package nogoroutine
+
+// Spawn starts a bare goroutine — fires.
+func Spawn(f func()) {
+	go f() // want "bare go statement"
+}
+
+// Chans exercises the channel ops end to end.
+func Chans() int {
+	ch := make(chan int, 1) // want "make\\(chan\\)"
+	ch <- 1                 // want "channel send"
+	x := <-ch               // want "channel receive"
+	close(ch)
+	return x
+}
+
+// Mux multiplexes two channels; the select and both comm ops fire.
+func Mux(a, b chan int) int {
+	select { // want "select statement"
+	case x := <-a: // want "channel receive"
+		return x
+	case b <- 1: // want "channel send"
+		return 0
+	}
+}
+
+// Drain ranges a channel — fires.
+func Drain(ch chan int) int {
+	t := 0
+	for v := range ch { // want "range over channel"
+		t += v
+	}
+	return t
+}
+
+// Sequential is plain deterministic code — silent.
+func Sequential(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Park is the kernel's strict-handoff shape with a reviewed suppression;
+// the sibling send still fires.
+func Park(resume chan struct{}) {
+	// ditto:determinism-ok fixture: strict handoff reviewed
+	resume <- struct{}{}
+
+	resume <- struct{}{} // want "channel send"
+}

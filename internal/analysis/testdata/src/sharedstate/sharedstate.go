@@ -1,0 +1,56 @@
+// Package sharedstate exercises the shared-state analyzer: writes to
+// package-level vars outside init fire (direct assignment, increment, map
+// element, struct field), init-time writes and local state stay silent,
+// and a reviewed suppression removes a finding without shielding its
+// sibling.
+package sharedstate
+
+// table is computed at init and read-only afterwards — the lookup-table
+// idiom the analyzer must tolerate.
+var table [4]int
+
+// counter is the kernel.procSeq bug class: a package-level sequence.
+var counter int
+
+// registry is package-level mutable map state.
+var registry = map[string]int{}
+
+// cfg is package-level struct state.
+var cfg struct{ Debug bool }
+
+func init() {
+	for i := range table {
+		table[i] = i * i
+	}
+}
+
+// Next bumps package state — fires.
+func Next() int {
+	counter++ // want "package-level var counter"
+	return counter + table[0]
+}
+
+// Register writes an element of a package-level map — fires on the map.
+func Register(name string) {
+	registry[name] = 1 // want "package-level var registry"
+}
+
+// SetDebug writes a field of a package-level struct — fires on the var.
+func SetDebug() {
+	cfg.Debug = true // want "package-level var cfg"
+}
+
+// Local mutates only its own frame — silent.
+func Local() int {
+	local := 0
+	local++
+	return local
+}
+
+// Suppressed has a reviewed write; the sibling write still fires.
+func Suppressed() {
+	// ditto:determinism-ok fixture: reviewed one-time configuration write
+	counter = 1
+
+	counter = 2 // want "package-level var counter"
+}

@@ -1,0 +1,45 @@
+// Package suppression is the uniformity fixture: one suppressed and one
+// unsuppressed instance of every analyzer's target construct. The driver
+// test runs the whole suite over it at once and requires exactly one
+// finding per analyzer — proving the ditto:determinism-ok syntax is
+// honored by every analyzer and never shields a sibling line.
+package suppression
+
+import (
+	"math/rand"
+	"time"
+)
+
+// seq is the package-level state the shared-state pair writes.
+var seq int
+
+// Everything holds the five suppressed/unsuppressed pairs.
+func Everything(m map[string]int, ch chan int) int {
+	// ditto:determinism-ok fixture: reviewed wall-clock read
+	_ = time.Now()
+
+	_ = time.Now() // unsuppressed wall-clock
+
+	// ditto:determinism-ok fixture: reviewed global draw
+	_ = rand.Int()
+
+	_ = rand.Int() // unsuppressed global-rand
+
+	// ditto:determinism-ok fixture: reviewed commutative loop
+	for range m {
+	}
+
+	for range m { // unsuppressed map-range
+	}
+
+	// ditto:determinism-ok fixture: reviewed shared write
+	seq++
+
+	seq++ // unsuppressed shared-state
+
+	// ditto:determinism-ok fixture: reviewed handoff
+	ch <- 1
+
+	ch <- 2 // unsuppressed no-goroutine
+	return seq
+}

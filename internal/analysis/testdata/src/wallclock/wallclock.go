@@ -1,0 +1,29 @@
+// Package wallclock exercises the wall-clock analyzer: host-clock reads
+// fire, pure time arithmetic stays silent, and a reviewed suppression
+// removes a finding without shielding its sibling.
+package wallclock
+
+import "time"
+
+// Bad reads the host clock three ways.
+func Bad() time.Duration {
+	start := time.Now()      // want "reads the host clock"
+	_ = time.Until(start)    // want "reads the host clock"
+	return time.Since(start) // want "reads the host clock"
+}
+
+// Good uses the time package only for arithmetic and parsing.
+func Good() time.Duration {
+	d, _ := time.ParseDuration("3ms")
+	return d * 2
+}
+
+// Suppressed carries a reviewed annotation on the first read; the second
+// read below it must still fire.
+func Suppressed() time.Time {
+	a := time.Now() // ditto:determinism-ok fixture: reviewed wall-clock read
+
+	b := time.Now() // want "reads the host clock"
+	_ = b
+	return a
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock flags reads of the host clock. Deterministic code must take
+// time from the simulation engine (sim.Engine.Now), never from the time
+// package: a wall-clock read makes results depend on when — and how fast —
+// the simulation happens to run.
+var WallClock = &Analyzer{
+	Name: "wall-clock",
+	Doc: "flag time.Now/Since/Until in deterministic packages; " +
+		"simulated time must come from the engine",
+	Run: runWallClock,
+}
+
+// wallClockFuncs are the time package functions that read the host clock.
+var wallClockFuncs = map[string]bool{
+	"time.Now": true, "time.Since": true, "time.Until": true,
+}
+
+func runWallClock(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calledFunc(pass.TypesInfo, call); fn != nil && wallClockFuncs[fn.FullName()] {
+				pass.Reportf(call.Pos(),
+					"%s reads the host clock; deterministic code must take time from the simulation engine",
+					fn.FullName())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calledFunc resolves a call through a selector to the package-level
+// function it invokes, or nil for methods, locals, conversions and
+// builtins. Methods are excluded on purpose: a method on a seeded
+// *rand.Rand is the deterministic idiom.
+func calledFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}

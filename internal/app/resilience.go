@@ -60,6 +60,7 @@ func NewBreaker(failsToOpen int, openFor sim.Time) *Breaker {
 
 // Allow reports whether a call may proceed at time now. While open it fails
 // fast until openFor has elapsed, then admits a single half-open probe.
+// ditto:noalloc
 func (b *Breaker) Allow(now sim.Time) bool {
 	if b.failsToOpen <= 0 {
 		return true
@@ -79,6 +80,7 @@ func (b *Breaker) Allow(now sim.Time) bool {
 }
 
 // OnResult books the outcome of an admitted call at time now.
+// ditto:noalloc
 func (b *Breaker) OnResult(now sim.Time, ok bool) {
 	if b.failsToOpen <= 0 {
 		return
@@ -109,6 +111,7 @@ func (b *Breaker) Open() bool { return b.state == breakerOpen }
 // retryDelay computes the pre-retry sleep before attempt k (k >= 1):
 // exponential base with multiplicative jitter in [0.5, 1) drawn from the
 // tier's deterministic stream.
+// ditto:noalloc
 func (r *Resilience) retryDelay(k int, rng *stats.Rand) sim.Time {
 	if r.Backoff <= 0 {
 		return 0

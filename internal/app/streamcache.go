@@ -40,19 +40,28 @@ func NewStreamCache(body Body) *StreamCache {
 }
 
 // Next returns the next rotating decoded variant for kind, pregenerating
-// the kind's variant set on first use.
+// the kind's variant set on first use. The steady-state path is a map
+// lookup and a counter bump; all allocation lives in pregenerate.
+// ditto:noalloc
 func (c *StreamCache) Next(kind int) *cpu.Trace {
 	s := c.sets[kind]
 	if s == nil {
-		s = &streamSet{}
-		for i := range s.variants {
-			s.variants[i] = cpu.NewTrace(c.body.EmitRequest(kind, nil))
-		}
-		c.sets[kind] = s
+		s = c.pregenerate(kind)
 	}
 	tr := s.variants[s.next]
 	s.next = (s.next + 1) % StreamVariants
 	return tr
+}
+
+// pregenerate emits and decodes the variant set for kind — the one-time
+// cold path behind Next.
+func (c *StreamCache) pregenerate(kind int) *streamSet {
+	s := &streamSet{}
+	for i := range s.variants {
+		s.variants[i] = cpu.NewTrace(c.body.EmitRequest(kind, nil))
+	}
+	c.sets[kind] = s
+	return s
 }
 
 // EmitRequest implements Body for callers that need a plain stream: it

@@ -96,6 +96,7 @@ func (tr *Trace) grow(n int) {
 // Decode runs the static pass over stream, reusing the trace's storage. The
 // trace aliases stream, so the stream must stay unmodified for as long as
 // the trace is in use.
+// ditto:noalloc
 func (tr *Trace) Decode(stream []isa.Instr) {
 	tr.Stream = stream
 	n := len(stream)
@@ -182,6 +183,7 @@ const regSink isa.Reg = 0xFE
 // power-of-two effective widths (Skylake's 4) every quantity is an exact
 // multiple of a small power of two, making this bit-identical to the
 // serial sum.
+// ditto:noalloc
 func (c *Core) ExecuteTrace(tr *Trace) Result {
 	var ctr Counters
 	width := float64(c.cfg.Arch.IssueWidth) * c.cfg.SMTFactor

@@ -174,6 +174,8 @@ func (p *Plane) apply(ev Event) {
 				t.M.SetCPUThrottle(1)
 			}
 		} else {
+			// ditto:determinism-ok reviewed: idempotent per-machine writes;
+			// every machine gets the same throttle whatever the order.
 			for m := range touch {
 				m.SetCPUThrottle(1)
 			}
@@ -190,6 +192,8 @@ func (p *Plane) apply(ev Event) {
 			}
 		}
 	case OpSlowCPU:
+		// ditto:determinism-ok reviewed: idempotent per-machine writes;
+		// every machine gets the same throttle whatever the order.
 		for m := range p.machinesOf(ev.Tiers) {
 			m.SetCPUThrottle(ev.Throttle)
 		}

@@ -24,6 +24,7 @@ const stressorBurst = 4096
 // at cursor (bytes into the working set) and returns the advanced cursor.
 // It touches no storage beyond the given slice, keeping the stressor's burst
 // loop allocation-free.
+// ditto:noalloc
 func fillLLCBurst(stream []isa.Instr, base, cursor uint64, wsBytes int) uint64 {
 	for i := range stream {
 		stream[i] = isa.Instr{Op: isa.MOVload,
@@ -36,6 +37,7 @@ func fillLLCBurst(stream []isa.Instr, base, cursor uint64, wsBytes int) uint64 {
 }
 
 // fillCPUBurst rewrites stream in place with a pure-ALU spin loop.
+// ditto:noalloc
 func fillCPUBurst(stream []isa.Instr) {
 	for i := range stream {
 		stream[i] = isa.Instr{Op: isa.ADDrr, PC: 0x710000 + uint64(i%16)*4,

@@ -97,6 +97,8 @@ func New(eng *sim.Engine, name string, res Resources) *Kernel {
 		Name:       name,
 		eng:        eng,
 		res:        res,
+		// ditto:determinism-ok reviewed: the strict-handoff coroutine channel;
+		// exactly one goroutine runs at a time, so no order is ever racy.
 		parkCh:     make(chan struct{}),
 		files:      map[string]*File{},
 		pages:      newPageLRU(res.PageCachePages),
@@ -237,6 +239,8 @@ func (p *Proc) Spawn(name string, fn func(*Thread)) *Thread {
 		Name:    name,
 		Proc:    p,
 		k:       k,
+		// ditto:determinism-ok reviewed: per-thread resume channel of the
+		// strict handoff; only the engine goroutine ever sends on it.
 		resume:  make(chan struct{}),
 		Spawned: k.eng.Now(),
 	}
@@ -246,7 +250,7 @@ func (p *Proc) Spawn(name string, fn func(*Thread)) *Thread {
 	k.threads = append(k.threads, t)
 	k.emitThread(ThreadEvent{Time: k.eng.Now(), TID: t.ID, Proc: p.Name,
 		Thread: name, Kind: ThreadSpawn})
-	go func() {
+	go func() { // ditto:determinism-ok reviewed: coroutine body; parked until dispatch resumes it
 		<-t.resume
 		defer func() {
 			if r := recover(); r != nil {
@@ -259,6 +263,8 @@ func (p *Proc) Spawn(name string, fn func(*Thread)) *Thread {
 			p.liveThreads--
 			k.emitThread(ThreadEvent{Time: k.eng.Now(), TID: t.ID,
 				Proc: p.Name, Thread: t.Name, Kind: ThreadExit})
+			// ditto:determinism-ok reviewed: exit-side half of the strict
+			// handoff; hands control back to the engine goroutine.
 			k.parkCh <- struct{}{}
 		}()
 		fn(t)
@@ -272,7 +278,7 @@ func (p *Proc) Spawn(name string, fn func(*Thread)) *Thread {
 // Callers must loop on their condition: wakeups can be spurious.
 func (t *Thread) park() {
 	t.parked = true
-	t.k.parkCh <- struct{}{}
+	t.k.parkCh <- struct{}{} // ditto:determinism-ok reviewed: park/resume pair of the strict handoff
 	<-t.resume
 	if t.k.stopping || t.killed {
 		panic(threadKilled{})
@@ -286,7 +292,7 @@ func (k *Kernel) dispatch(t *Thread) {
 		return
 	}
 	t.parked = false
-	t.resume <- struct{}{}
+	t.resume <- struct{}{} // ditto:determinism-ok reviewed: resume/park pair of the strict handoff
 	<-k.parkCh
 }
 
@@ -309,6 +315,8 @@ func (k *Kernel) wake(t *Thread, source string) {
 // survives: counters remain readable and new threads may be spawned into it
 // later — a container restart.
 func (k *Kernel) KillProc(p *Proc) {
+	// ditto:determinism-ok reviewed: filtered delete-during-range; the
+	// surviving set is the same whatever order the map yields.
 	for port, l := range k.listeners {
 		if l.proc == p {
 			delete(k.listeners, port)

@@ -2,300 +2,84 @@ package verify
 
 import (
 	"fmt"
-	"go/ast"
-	"go/importer"
-	"go/parser"
 	"go/token"
-	"go/types"
-	"os"
-	"path/filepath"
-	"sort"
-	"strings"
+
+	"ditto/internal/analysis"
 )
 
-// This file is Layer 2: a go/parser + go/types determinism linter for the
-// simulator's own source. The deterministic model packages (cpu, cache,
-// mem, branch, sim, core) promise that a single seed reproduces a whole
-// experiment; the linter flags the constructs that silently break that
-// promise — wall-clock reads, draws from the global math/rand stream, and
-// map iteration whose order leaks into results.
-//
-// Iterating a map is tolerated in exactly two shapes:
-//
-//   - the collect-keys idiom `for k := range m { keys = append(keys, k) }`,
-//     whose output is expected to be sorted before use;
-//   - a range carrying a reviewed suppression comment containing
-//     "ditto:determinism-ok" on the for statement's line or the line above.
-//
-// Everything else that ranges a map inside a deterministic package is
-// order-dependent accumulation until proven otherwise.
+// This file is Layer 2: the determinism lint surface over the
+// internal/analysis multi-analyzer suite. The deterministic model packages
+// promise that a single seed reproduces a whole experiment; the suite
+// flags the constructs that silently break that promise — wall-clock
+// reads, draws from the global math/rand stream, map iteration whose order
+// leaks into results, package-level state written outside init, and bare
+// goroutines or channel ops racing the engine. The analyzers, the uniform
+// ditto:determinism-ok suppression, and the noalloc escape-analysis gate
+// all live in internal/analysis; this layer maps their findings onto the
+// verify.Report schema that cmd/dittolint -json emits.
 
 // DeterministicPackages is the default lint target set: the packages whose
-// behaviour must be a pure function of their seeds.
+// behaviour must be a pure function of their seeds. This is the full model
+// surface — everything that executes inside a runner cell.
 var DeterministicPackages = []string{
+	"internal/app",
 	"internal/branch",
 	"internal/cache",
 	"internal/core",
 	"internal/cpu",
+	"internal/disk",
+	"internal/dtrace",
+	"internal/fault",
+	"internal/kernel",
+	"internal/loadgen",
 	"internal/mem",
+	"internal/netsim",
 	"internal/sim",
+	"internal/stats",
 }
 
-// suppressionMarker is the reviewed-safe annotation for map ranges.
-const suppressionMarker = "ditto:determinism-ok"
+// NoallocPackages is the default target set of the noalloc gate: the
+// deterministic packages plus the interference stressors, whose burst-fill
+// loops are annotated hot paths too.
+var NoallocPackages = append(append([]string(nil), DeterministicPackages...), "internal/interfere")
 
-// wallClockFuncs are the time package functions that read the host clock.
-var wallClockFuncs = map[string]bool{
-	"time.Now": true, "time.Since": true, "time.Until": true,
-}
-
-// randConstructors are the seeded entry points of math/rand that do not
-// touch the global stream.
-var randConstructors = map[string]bool{
-	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
-}
-
-// Lint type-checks the given package directories (relative to the module
-// root) and returns a report of determinism findings. Packages outside the
-// module and test files are not linted, but imports resolve through the
-// module so types are exact.
+// Lint runs the full AST analyzer suite over the given package directories
+// (relative to the module root) and returns the findings as a report.
+// Packages outside the module and test files are not linted, but imports
+// resolve through the module so types are exact.
 func Lint(root string, pkgDirs []string) (*Report, error) {
-	ld, err := newLoader(root)
+	return LintWith(root, pkgDirs, analysis.All())
+}
+
+// LintWith runs a chosen subset of the analyzer suite.
+func LintWith(root string, pkgDirs []string, analyzers []*analysis.Analyzer) (*Report, error) {
+	fs, err := analysis.Run(root, pkgDirs, analyzers)
 	if err != nil {
 		return nil, err
 	}
+	return lintReport(fs), nil
+}
+
+// LintNoalloc runs the escape-analysis gate: every ditto:noalloc-annotated
+// function in the given packages must stay free of compiler-placed heap
+// allocations (see analysis.Noalloc).
+func LintNoalloc(root string, pkgDirs []string) (*Report, error) {
+	fs, err := analysis.Noalloc(root, pkgDirs)
+	if err != nil {
+		return nil, err
+	}
+	return lintReport(fs), nil
+}
+
+// lintReport maps analyzer findings onto the report schema: the analyzer
+// name is the rule, every finding is an error, block/slot do not apply.
+func lintReport(fs []analysis.Finding) *Report {
 	r := &Report{Name: "dittolint"}
-	for _, dir := range pkgDirs {
-		lp, err := ld.loadDir(dir)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", dir, err)
-		}
-		lintPackage(r, ld.fset, lp)
+	for _, f := range fs {
+		r.add(Finding{Layer: "lint", Rule: f.Analyzer, Severity: SevError,
+			Block: -1, Slot: -1, Pos: posString(f.Pos), Detail: f.Message})
 	}
-	sort.SliceStable(r.Findings, func(i, j int) bool { return r.Findings[i].Pos < r.Findings[j].Pos })
-	return r, nil
-}
-
-// loadedPkg is one parsed and type-checked package.
-type loadedPkg struct {
-	pkg   *types.Package
-	files []*ast.File
-	info  *types.Info
-}
-
-// loader resolves and type-checks packages of one module, importing module
-// siblings recursively and the standard library through the source
-// importer (export data for the stdlib is not shipped with modern
-// toolchains, so compiling from GOROOT source is the hermetic choice).
-type loader struct {
-	fset   *token.FileSet
-	root   string
-	module string
-	std    types.Importer
-	pkgs   map[string]*loadedPkg // keyed by module-relative dir
-	stack  map[string]bool
-}
-
-func newLoader(root string) (*loader, error) {
-	modData, err := os.ReadFile(filepath.Join(root, "go.mod"))
-	if err != nil {
-		return nil, fmt.Errorf("module root: %w", err)
-	}
-	module := ""
-	for _, line := range strings.Split(string(modData), "\n") {
-		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
-			module = strings.TrimSpace(rest)
-			break
-		}
-	}
-	if module == "" {
-		return nil, fmt.Errorf("no module directive in %s/go.mod", root)
-	}
-	fset := token.NewFileSet()
-	return &loader{
-		fset:   fset,
-		root:   root,
-		module: module,
-		std:    importer.ForCompiler(fset, "source", nil),
-		pkgs:   map[string]*loadedPkg{},
-		stack:  map[string]bool{},
-	}, nil
-}
-
-// Import implements types.Importer over the module + stdlib split.
-func (l *loader) Import(path string) (*types.Package, error) {
-	if rel, ok := strings.CutPrefix(path, l.module+"/"); ok {
-		lp, err := l.loadDir(rel)
-		if err != nil {
-			return nil, err
-		}
-		return lp.pkg, nil
-	}
-	return l.std.Import(path)
-}
-
-// loadDir parses and type-checks one module-relative package directory,
-// memoized.
-func (l *loader) loadDir(rel string) (*loadedPkg, error) {
-	rel = filepath.ToSlash(filepath.Clean(rel))
-	if lp, ok := l.pkgs[rel]; ok {
-		return lp, nil
-	}
-	if l.stack[rel] {
-		return nil, fmt.Errorf("import cycle through %s", rel)
-	}
-	l.stack[rel] = true
-	defer delete(l.stack, rel)
-
-	dir := filepath.Join(l.root, filepath.FromSlash(rel))
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var files []*ast.File
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	if len(files) == 0 {
-		return nil, fmt.Errorf("no Go files in %s", dir)
-	}
-	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Uses:  map[*ast.Ident]types.Object{},
-		Defs:  map[*ast.Ident]types.Object{},
-	}
-	conf := types.Config{Importer: l}
-	pkg, err := conf.Check(l.module+"/"+rel, l.fset, files, info)
-	if err != nil {
-		return nil, err
-	}
-	lp := &loadedPkg{pkg: pkg, files: files, info: info}
-	l.pkgs[rel] = lp
-	return lp, nil
-}
-
-// lintPackage applies the determinism rules to one loaded package.
-func lintPackage(r *Report, fset *token.FileSet, lp *loadedPkg) {
-	for _, f := range lp.files {
-		suppressed := suppressedLines(fset, f)
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch node := n.(type) {
-			case *ast.CallExpr:
-				lintCall(r, fset, lp.info, node)
-			case *ast.RangeStmt:
-				lintRange(r, fset, lp.info, node, suppressed)
-			}
-			return true
-		})
-	}
-}
-
-// suppressedLines collects the lines on which a suppression comment allows
-// the construct on the same or the following line.
-func suppressedLines(fset *token.FileSet, f *ast.File) map[int]bool {
-	lines := map[int]bool{}
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			if strings.Contains(c.Text, suppressionMarker) {
-				line := fset.Position(c.End()).Line
-				lines[line] = true
-				lines[line+1] = true
-			}
-		}
-	}
-	return lines
-}
-
-// lintCall flags wall-clock reads and global math/rand draws.
-func lintCall(r *Report, fset *token.FileSet, info *types.Info, call *ast.CallExpr) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return
-	}
-	fn, ok := info.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil {
-		return
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() != nil {
-		return // methods (e.g. a seeded *rand.Rand) are deterministic
-	}
-	pos := fset.Position(call.Pos())
-	switch pkgPath := fn.Pkg().Path(); {
-	case wallClockFuncs[fn.FullName()]:
-		r.add(Finding{Layer: "lint", Rule: "wall-clock", Severity: SevError, Block: -1, Slot: -1,
-			Pos: posString(pos),
-			Detail: fmt.Sprintf("%s reads the host clock; deterministic code must take time from the simulation engine",
-				fn.FullName())})
-	case (pkgPath == "math/rand" || pkgPath == "math/rand/v2") && !randConstructors[fn.Name()]:
-		r.add(Finding{Layer: "lint", Rule: "global-rand", Severity: SevError, Block: -1, Slot: -1,
-			Pos: posString(pos),
-			Detail: fmt.Sprintf("%s draws from the global random stream; use a seeded stats.Rand",
-				fn.FullName())})
-	}
-}
-
-// lintRange flags map iteration whose order can leak into results.
-func lintRange(r *Report, fset *token.FileSet, info *types.Info, rng *ast.RangeStmt, suppressed map[int]bool) {
-	t := info.TypeOf(rng.X)
-	if t == nil {
-		return
-	}
-	if _, isMap := t.Underlying().(*types.Map); !isMap {
-		return
-	}
-	pos := fset.Position(rng.Pos())
-	if suppressed[pos.Line] {
-		return
-	}
-	if isCollectKeysIdiom(info, rng) {
-		return
-	}
-	r.add(Finding{Layer: "lint", Rule: "map-range", Severity: SevError, Block: -1, Slot: -1,
-		Pos: posString(pos),
-		Detail: fmt.Sprintf("iteration over %s is unordered; sort the keys first, or annotate a reviewed-safe loop with %q",
-			t, suppressionMarker)})
-}
-
-// isCollectKeysIdiom recognizes `for k := range m { s = append(s, k) }`,
-// the standard prelude to sorted iteration.
-func isCollectKeysIdiom(info *types.Info, rng *ast.RangeStmt) bool {
-	if rng.Value != nil || rng.Body == nil || len(rng.Body.List) != 1 {
-		return false
-	}
-	keyIdent, ok := rng.Key.(*ast.Ident)
-	if !ok {
-		return false
-	}
-	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
-	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
-		return false
-	}
-	call, ok := assign.Rhs[0].(*ast.CallExpr)
-	if !ok || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
-		return false
-	}
-	fn, ok := call.Fun.(*ast.Ident)
-	if !ok {
-		return false
-	}
-	if obj, ok := info.Uses[fn]; !ok || obj != types.Universe.Lookup("append") {
-		return false
-	}
-	arg, ok := call.Args[1].(*ast.Ident)
-	if !ok {
-		return false
-	}
-	keyObj := info.Defs[keyIdent]
-	return keyObj != nil && info.Uses[arg] == keyObj
+	return r
 }
 
 func posString(p token.Position) string {

@@ -1,11 +1,16 @@
 package verify
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// updateGolden rewrites testdata/lint_report.golden from the current
+// report instead of comparing against it.
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
 
 // writeModule lays out a throwaway module for the linter to chew on.
 func writeModule(t *testing.T, files map[string]string) string {
@@ -157,10 +162,11 @@ func Run(c *util.Clock, m map[int]int) {
 }
 
 // TestLintRepoIsClean is the self-test the CI lint job relies on: the
-// deterministic model packages of this repository must stay clean.
+// full deterministic model surface of this repository must stay clean
+// under every analyzer of the suite.
 func TestLintRepoIsClean(t *testing.T) {
 	if testing.Short() {
-		t.Skip("type-checks six packages; skipped in -short")
+		t.Skip("type-checks the whole model surface; skipped in -short")
 	}
 	r, err := Lint(repoRoot(t), DeterministicPackages)
 	if err != nil {
@@ -168,6 +174,51 @@ func TestLintRepoIsClean(t *testing.T) {
 	}
 	if !r.OK() {
 		t.Fatalf("deterministic packages have lint findings:\n%s", r)
+	}
+}
+
+// TestNoallocRepoIsClean is the static twin of the AllocsPerRun gates:
+// every ditto:noalloc-annotated hot path in the repository must compile
+// without the escape analysis placing an allocation in its body.
+func TestNoallocRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the annotated packages with -gcflags=-m; skipped in -short")
+	}
+	r, err := LintNoalloc(repoRoot(t), NoallocPackages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OK() {
+		t.Fatalf("annotated hot paths gained heap allocations:\n%s", r)
+	}
+}
+
+// TestLintJSONGolden pins the dittolint -json report schema over a fixture
+// with one finding per analyzer: downstream tooling parses this document,
+// so field names, rule strings, ordering and position format are contract.
+// Regenerate with: go test ./internal/verify -run LintJSONGolden -update-golden
+func TestLintJSONGolden(t *testing.T) {
+	r, err := Lint(filepath.Join("testdata", "lintmod"), []string{"model"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "lint_report.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("-json report drifted from golden schema\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 

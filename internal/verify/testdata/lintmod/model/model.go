@@ -1,0 +1,23 @@
+// Package model is the golden-report fixture: exactly one finding per
+// analyzer, in a fixed source order, so the dittolint -json schema test
+// has a stable document to pin.
+package model
+
+import (
+	"math/rand"
+	"time"
+)
+
+// hits is the package-level state the shared-state finding points at.
+var hits int
+
+// Run trips every analyzer once, top to bottom.
+func Run(m map[string]int, ch chan int) int {
+	_ = time.Now()
+	_ = rand.Int()
+	for range m {
+	}
+	hits++
+	ch <- 1
+	return hits
+}

@@ -12,11 +12,13 @@
 // budget must all sit within configurable tolerances of the source
 // AppProfile — the fidelity contract of §4.4 of the paper).
 //
-// Layer 2 (the determinism linter, Lint) parses the repository with
-// go/parser and go/types and flags source constructs that would break
-// reproducible seeds inside the deterministic model packages: time.Now,
-// package-level math/rand draws, and map-iteration-order-dependent
-// accumulation.
+// Layer 2 (the determinism linter, Lint) runs the internal/analysis
+// multi-analyzer suite over the deterministic model packages and flags
+// source constructs that would break reproducible seeds: wall-clock reads,
+// package-level math/rand draws, map-iteration-order-dependent
+// accumulation, package-level state written outside init, and bare
+// goroutines or channel ops outside the engine. LintNoalloc adds the
+// escape-analysis gate over ditto:noalloc-annotated hot paths.
 //
 // Both layers report Findings with positions, severities and
 // machine-readable JSON output; cmd/dittolint is the CLI surface and
