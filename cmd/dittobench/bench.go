@@ -14,6 +14,7 @@ import (
 	"ditto/internal/cpu"
 	"ditto/internal/experiments"
 	"ditto/internal/isa"
+	"ditto/internal/platform"
 	"ditto/internal/runner"
 	"ditto/internal/sim"
 )
@@ -55,6 +56,15 @@ type benchReport struct {
 	GridParallelSec float64  `json:"grid_parallel_sec,omitempty"`
 	GridWidth       int      `json:"grid_width"`
 	Speedup         *float64 `json:"speedup,omitempty"`
+
+	// Wall clock of ONE Social Network cell (4 nodes + client, closed loop)
+	// on the sharded engine at 1 worker vs intra_width workers — the
+	// intra-cell speedup the conservative-parallel World buys on a single
+	// simulation. As above, the speedup is omitted at width 1.
+	IntraWidth       int      `json:"intra_width"`
+	IntraSerialSec   float64  `json:"intra_serial_sec"`
+	IntraParallelSec float64  `json:"intra_parallel_sec,omitempty"`
+	IntraSpeedup     *float64 `json:"intra_speedup,omitempty"`
 }
 
 type benchStat struct {
@@ -191,6 +201,37 @@ func writeBenchJSON(path string, opt experiments.Options) error {
 		}
 	} else {
 		fmt.Fprintln(os.Stderr, "bench: pool width is 1; skipping the parallel run and omitting speedup")
+	}
+
+	// Intra-cell (sharded-engine) speedup: one closed-loop Social Network
+	// cell over 5 machines (4 nodes + client), every machine its own shard,
+	// advanced by 1 worker vs min(GOMAXPROCS, shards) workers. Closed loop
+	// keeps every tier busy so each conservative window carries real work.
+	const snNodes = 4
+	intraWidth := runner.EffectiveWidth(0)
+	if intraWidth > snNodes+1 {
+		intraWidth = snNodes + 1 // one shard per machine; wider buys nothing
+	}
+	fmt.Fprintf(os.Stderr, "bench: social-network cell, shard workers 1 vs %d\n", intraWidth)
+	snCell := func(intra int) float64 {
+		t0 := time.Now()
+		d := experiments.NewOriginalSN(platform.A(), snNodes, 8, opt.Seed+11, intra)
+		load := experiments.Load{Conns: 64, Mix: experiments.SNMix(), Seed: opt.Seed}
+		win := experiments.Windows{Warmup: 20 * sim.Millisecond, Measure: 200 * sim.Millisecond}
+		experiments.MeasureSN(d, load, win, nil)
+		d.Env.Shutdown()
+		return time.Since(t0).Seconds()
+	}
+	rep.IntraWidth = intraWidth
+	rep.IntraSerialSec = snCell(1)
+	if intraWidth > 1 {
+		rep.IntraParallelSec = snCell(intraWidth)
+		if rep.IntraParallelSec > 0 {
+			s := rep.IntraSerialSec / rep.IntraParallelSec
+			rep.IntraSpeedup = &s
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "bench: one core; skipping the wide shard run and omitting intra_speedup")
 	}
 
 	out, err := json.MarshalIndent(rep, "", "  ")

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	dittobench -run fig5 [-parallel 8] [-tune 4] [-ms 160] [-seed 1] [-apps redis,nginx]
+//	dittobench -run fig5 [-parallel 8] [-intra-parallel 4] [-tune 4] [-ms 160] [-seed 1] [-apps redis,nginx]
 //	dittobench -run 'fig11/c4/.*'          # regex over cell names
 //	dittobench -run all -progress
 //	dittobench -bench-json BENCH_PR2.json  # perf baseline mode
@@ -29,7 +29,9 @@ func main() {
 	var (
 		run = flag.String("run", "all",
 			"regexp over cell names (e.g. 'fig5/redis/.*'); experiment names (table1|fig5|...|phases) and 'all' also work")
-		parallel  = flag.Int("parallel", 0, "cell worker pool size (0 = GOMAXPROCS); any width yields identical output")
+		parallel = flag.Int("parallel", 0, "cell worker pool size (0 = GOMAXPROCS); any width yields identical output")
+		intra    = flag.Int("intra-parallel", 0,
+			"per-cell shard workers: each simulated machine gets its own event-queue shard advanced by up to this many threads (0 = classic single-queue engine; widths >= 1 are byte-identical to each other)")
 		progress  = flag.Bool("progress", false, "report per-cell completions on stderr")
 		tune      = flag.Int("tune", 3, "fine-tuning iterations per clone")
 		ms        = flag.Int("ms", 160, "measurement window (simulated ms)")
@@ -50,6 +52,7 @@ func main() {
 		Seed:          *seed,
 		IncludeSocial: true,
 		Parallel:      *parallel,
+		IntraParallel: *intra,
 	}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")

@@ -35,11 +35,11 @@ func main() {
 	for _, qps := range []float64{150, 400, 800} {
 		load := experiments.Load{QPS: qps, Conns: 12, Mix: experiments.SNMix(), Seed: 9}
 
-		orig := experiments.NewOriginalSN(platform.A(), 2, 8, 9)
+		orig := experiments.NewOriginalSN(platform.A(), 2, 8, 9, 0)
 		e2eO, _ := experiments.MeasureSN(orig, load, win, nil)
 		orig.Env.Shutdown()
 
-		syn := experiments.NewSynthSN(clone, platform.A(), 2, 8, 10)
+		syn := experiments.NewSynthSN(clone, platform.A(), 2, 8, 10, 0)
 		e2eS, _ := experiments.MeasureSN(syn, load, win, nil)
 		syn.Env.Shutdown()
 

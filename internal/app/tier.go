@@ -23,6 +23,12 @@ type RPCCtx struct {
 	Attempt uint8
 	Hedged  bool
 	Failed  bool
+	// root marks the context created at the frontend from the raw client
+	// Request. Only the root context's tier may write back to Req: the
+	// Request lives on the client's shard-ordered message chain, and a
+	// downstream tier scribbling on it from another machine's timeline would
+	// be a cross-shard mutation (and a data race under parallel execution).
+	root bool
 }
 
 // Call is one potential downstream RPC edge.
@@ -71,6 +77,7 @@ type Tier struct {
 	conns    map[*kernel.Thread]map[string]*kernel.Endpoint
 	breakers map[string]*Breaker // per downstream target, resilient path only
 	streams  *StreamCache        // rotating pregenerated request streams for Body
+	arm      *dtrace.Arm         // this machine's shard-local recording surface
 }
 
 // NewTier builds a tier on m.
@@ -94,8 +101,14 @@ func NewTier(m *platform.Machine, cfg TierConfig, body Body) *Tier {
 	return t
 }
 
-// Start launches the tier's skeleton.
+// Start launches the tier's skeleton. Tracing arms register here — setup
+// time, single-threaded — keyed by the host machine's cluster index, so
+// tiers sharing a machine share its arm and a shared Collector is never
+// touched across shards mid-run.
 func (t *Tier) Start() {
+	if t.Collector != nil && t.arm == nil {
+		t.arm = t.Collector.Arm(uint64(t.M.Index) + 1)
+	}
 	switch t.Cfg.Model {
 	case "pool":
 		t.P.Spawn("acceptor", func(th *kernel.Thread) {
@@ -116,9 +129,9 @@ func (t *Tier) ctxOf(msg kernel.Msg) *RPCCtx {
 	case *RPCCtx:
 		return p
 	case *Request:
-		ctx := &RPCCtx{Req: p, Kind: p.Kind}
-		if t.Collector != nil {
-			ctx.Trace = t.Collector.StartTrace()
+		ctx := &RPCCtx{Req: p, Kind: p.Kind, root: true}
+		if t.arm != nil {
+			ctx.Trace = t.arm.StartTrace()
 		}
 		return ctx
 	default:
@@ -132,8 +145,8 @@ func (t *Tier) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.Msg) 
 	ctx := t.ctxOf(msg)
 	r := t.Cfg.Resilience
 	var span dtrace.Span
-	if t.Collector != nil && ctx.Trace != 0 {
-		span = dtrace.Span{Trace: ctx.Trace, ID: t.Collector.NextSpanID(),
+	if t.arm != nil && ctx.Trace != 0 {
+		span = dtrace.Span{Trace: ctx.Trace, ID: t.arm.NextSpanID(),
 			Parent: ctx.Parent, Service: t.Cfg.Name,
 			Operation: kindName(ctx.Kind), Start: th.Now(),
 			ReqBytes: msg.Bytes, RespBytes: t.Cfg.RespBytes,
@@ -145,8 +158,9 @@ func (t *Tier) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.Msg) 
 		t.fail(ctx, &span)
 		if span.ID != 0 {
 			span.End = th.Now()
-			t.Collector.Record(span)
+			t.arm.Record(span)
 		}
+		t.finish(ctx)
 		echo(th, conn, msg, t.Cfg.RespBytes)
 		return
 	}
@@ -178,19 +192,30 @@ func (t *Tier) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.Msg) 
 	}
 	if span.ID != 0 {
 		span.End = th.Now()
-		t.Collector.Record(span)
+		t.arm.Record(span)
 	}
+	t.finish(ctx)
 	echo(th, conn, msg, t.Cfg.RespBytes)
 }
 
-// fail marks this invocation degraded: the serving span, the RPC context the
-// caller will inspect, and the root client request all record the error.
+// fail marks this invocation degraded: the serving span and the RPC context
+// the caller will inspect both record the error. The root client Request is
+// deliberately not touched here — see finish.
 func (t *Tier) fail(ctx *RPCCtx, span *dtrace.Span) {
 	ctx.Failed = true
-	if ctx.Req != nil {
+	span.Failed = true
+}
+
+// finish propagates the outcome to the root client Request, at the frontend
+// only, just before the response is echoed. The frontend runs on one
+// machine and the Request rides the ordered message chain back to the
+// client, so this is the only place Req may be written without a cross-shard
+// race; downstream failures reach here via the Failed bit on each reply
+// context.
+func (t *Tier) finish(ctx *RPCCtx) {
+	if ctx.root && ctx.Failed && ctx.Req != nil {
 		ctx.Req.Failed = true
 	}
-	span.Failed = true
 }
 
 // callResilient performs one downstream call under the tier's resilience

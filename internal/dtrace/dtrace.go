@@ -47,12 +47,88 @@ func (s Span) Duration() sim.Time { return s.End - s.Start }
 // trace ids — every sampleEvery-th id is kept — so StartTrace and Record
 // allocate nothing: the span-record hot path stays allocation-free once the
 // span store has warmed up (or been sized with Reserve).
+//
+// A Collector used from a sharded simulation must be touched only through
+// per-shard Arms (see Arm): the collector's own counters and span store are
+// single-timeline state, while each arm is owned by one machine's shard.
 type Collector struct {
 	sampleEvery int
 	nextTrace   uint64
 	nextSpan    uint64
 	floorTrace  uint64 // traces at or below this id predate the last Reset
 	spans       []Span
+	arms        map[uint64]*Arm
+	armKeys     []uint64 // registered arm keys, kept sorted
+}
+
+// armShift partitions trace and span ids: the top bits carry the arm key,
+// the low armShift bits a per-arm sequence. Key 0 is the collector's own
+// (legacy) id space.
+const armShift = 40
+
+// Arm is one shard-local recording surface of a shared Collector. Every
+// machine (shard) gets its own arm, keyed by a small stable integer; ids the
+// arm hands out are prefixed with that key, so id streams from different
+// shards never collide and the sampling decision stays a pure function of
+// the id. Arms are registered at setup time (single-threaded); during a run
+// each arm is touched only by its own shard.
+type Arm struct {
+	c          *Collector
+	key        uint64
+	nextTrace  uint64
+	nextSpan   uint64
+	floorTrace uint64
+	spans      []Span
+}
+
+// Arm returns the recording arm for key (1..2^24-1), registering it on first
+// use. Registration mutates the collector and must happen at setup time, not
+// mid-run from a shard.
+func (c *Collector) Arm(key uint64) *Arm {
+	if key == 0 || key >= 1<<(64-armShift) {
+		panic("dtrace: arm key out of range")
+	}
+	if a := c.arms[key]; a != nil {
+		return a
+	}
+	if c.arms == nil {
+		c.arms = map[uint64]*Arm{}
+	}
+	a := &Arm{c: c, key: key}
+	c.arms[key] = a
+	i := 0
+	for i < len(c.armKeys) && c.armKeys[i] < key {
+		i++
+	}
+	c.armKeys = append(c.armKeys, 0)
+	copy(c.armKeys[i+1:], c.armKeys[i:])
+	c.armKeys[i] = key
+	return a
+}
+
+// StartTrace allocates an arm-prefixed trace id.
+// ditto:noalloc
+func (a *Arm) StartTrace() TraceID {
+	a.nextTrace++
+	return TraceID(a.key<<armShift | a.nextTrace)
+}
+
+// NextSpanID allocates an arm-prefixed span id.
+// ditto:noalloc
+func (a *Arm) NextSpanID() SpanID {
+	a.nextSpan++
+	return SpanID(a.key<<armShift | a.nextSpan)
+}
+
+// Record stores a span in the arm's shard-local buffer if the span's trace
+// is sampled. The trace may have been started by another arm (a downstream
+// service records spans of a frontend-started trace); the decision is pure
+// arithmetic on the id, so no cross-shard state is consulted.
+// ditto:noalloc
+func (a *Arm) Record(s Span) {
+	if a.c.isSampled(s.Trace) {
+		a.spans = append(a.spans, s)
+	}
 }
 
 // NewCollector builds a collector keeping every sampleEvery-th trace
@@ -73,9 +149,20 @@ func (c *Collector) StartTrace() TraceID {
 }
 
 // isSampled reports the sampling decision for a trace id: every
-// sampleEvery-th id started after the last Reset is kept.
+// sampleEvery-th id started after the owning id space's last Reset is kept.
+// Arm-prefixed ids resolve their own floor; the arms map is immutable during
+// a run, so this is safe from any shard.
 func (c *Collector) isSampled(id TraceID) bool {
-	return uint64(id) > c.floorTrace && uint64(id)%uint64(c.sampleEvery) == 0
+	seq := uint64(id) & (1<<armShift - 1)
+	floor := c.floorTrace
+	if key := uint64(id) >> armShift; key != 0 {
+		a := c.arms[key]
+		if a == nil {
+			return false
+		}
+		floor = a.floorTrace
+	}
+	return seq > floor && seq%uint64(c.sampleEvery) == 0
 }
 
 // NextSpanID allocates a span id.
@@ -104,14 +191,31 @@ func (c *Collector) Reserve(n int) {
 	}
 }
 
-// Spans returns the collected spans. The slice aliases the collector's
-// storage and is invalidated by Reset.
-func (c *Collector) Spans() []Span { return c.spans }
+// Spans returns the collected spans: the collector's own buffer followed by
+// each arm's buffer in ascending key order, each in record order. The
+// concatenation is deterministic whatever interleaving the shards ran with.
+// Without arms the slice aliases the collector's storage; with arms it is a
+// fresh copy. Either way it is invalidated by Reset.
+func (c *Collector) Spans() []Span {
+	if len(c.arms) == 0 {
+		return c.spans
+	}
+	n := len(c.spans)
+	for _, key := range c.armKeys {
+		n += len(c.arms[key].spans)
+	}
+	out := make([]Span, 0, n)
+	out = append(out, c.spans...)
+	for _, key := range c.armKeys {
+		out = append(out, c.arms[key].spans...)
+	}
+	return out
+}
 
 // Traces groups collected spans by trace id.
 func (c *Collector) Traces() map[TraceID][]Span {
 	out := map[TraceID][]Span{}
-	for _, s := range c.spans {
+	for _, s := range c.Spans() {
 		out[s.Trace] = append(out[s.Trace], s)
 	}
 	return out
@@ -122,6 +226,11 @@ func (c *Collector) Traces() map[TraceID][]Span {
 func (c *Collector) Reset() {
 	c.spans = c.spans[:0]
 	c.floorTrace = c.nextTrace
+	for _, key := range c.armKeys {
+		a := c.arms[key]
+		a.spans = a.spans[:0]
+		a.floorTrace = a.nextTrace
+	}
 }
 
 // Edge is one parent→child service dependency with its observed weight.

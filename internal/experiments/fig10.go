@@ -76,7 +76,7 @@ func RunFig10(w io.Writer, opt Options) Fig10Result {
 		func(sc fig10Scenario, v string) string { return runner.Key("fig10", sc.name, v) },
 		func(sc fig10Scenario, v string, cw io.Writer) (any, error) {
 			opts := append([]platform.Option{platform.WithCoreCount(6)}, sc.opts...)
-			env := NewEnv(platform.A(), opts...)
+			env := NewEnvW(opt.IntraParallel, platform.A(), opts...)
 			var a app.App
 			if v == "actual" {
 				a = c.build(env.Server)

@@ -56,6 +56,15 @@ type Options struct {
 	// output are identical at every width; parallelism only buys wall
 	// clock.
 	Parallel int
+	// IntraParallel sets per-cell (intra-simulation) parallelism: each
+	// machine of a cell's cluster gets its own event-queue shard, advanced
+	// by up to IntraParallel workers under conservative synchronization
+	// (see sim.World). 0 keeps the classic single-queue engine and its
+	// exact event order; any width ≥ 1 is byte-identical to any other —
+	// width only changes how many OS threads advance shards. When both
+	// Parallel and IntraParallel exceed 1 the cell pool is divided by
+	// IntraParallel so the total thread budget stays roughly constant.
+	IntraParallel int
 	// CellFilter restricts which plan cells run (nil = all). Prep cells a
 	// surviving cell depends on are retained automatically.
 	CellFilter *regexp.Regexp
@@ -218,7 +227,7 @@ func RunFig5(w io.Writer, opt Options) Fig5Result {
 						}
 					}
 					r := measureApp(platform.A(), []platform.Option{platform.WithCoreCount(8)},
-						build, pr.levels[li].Load, opt.Windows)
+						build, pr.levels[li].Load, opt.Windows, opt.IntraParallel)
 					fr := fig5Row(c.name, ln, v, r)
 					emitFig5(cw, opt, []Fig5Row{fr})
 					return fr, nil
@@ -234,9 +243,9 @@ func RunFig5(w io.Writer, opt Options) Fig5Result {
 				p.Add(runner.Key("fig5", "social", lv.Name, v), func(cw io.Writer) (any, error) {
 					var d *SNEnv
 					if v == "actual" {
-						d = NewOriginalSN(platform.A(), nodes, 8, opt.Seed+5)
+						d = NewOriginalSN(platform.A(), nodes, 8, opt.Seed+5, opt.IntraParallel)
 					} else {
-						d = NewSynthSN(snClone, platform.A(), nodes, 8, opt.Seed+6)
+						d = NewSynthSN(snClone, platform.A(), nodes, 8, opt.Seed+6, opt.IntraParallel)
 					}
 					_, per := MeasureSN(d, lv.Load, snWin, fig5SocialTiers)
 					d.Env.Shutdown()

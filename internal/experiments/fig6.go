@@ -54,9 +54,9 @@ func RunFig6(w io.Writer, opt Options, qpsLevels []float64) Fig6Result {
 			load := Load{QPS: qps, Conns: 16, Mix: SNMix(), Seed: opt.Seed}
 			var d *SNEnv
 			if v == "actual" {
-				d = NewOriginalSN(platform.A(), nodes, 8, opt.Seed+11)
+				d = NewOriginalSN(platform.A(), nodes, 8, opt.Seed+11, opt.IntraParallel)
 			} else {
-				d = NewSynthSN(clone, platform.A(), nodes, 8, opt.Seed+12)
+				d = NewSynthSN(clone, platform.A(), nodes, 8, opt.Seed+12, opt.IntraParallel)
 			}
 			e2e, _ := MeasureSN(d, load, opt.Windows, nil)
 			d.Env.Shutdown()

@@ -96,7 +96,7 @@ func RunFig7(w io.Writer, opt Options) Fig7Result {
 					}
 				}
 				r := measureApp(plat, []platform.Option{platform.WithCoreCount(fig7CoreCount(plat))},
-					build, load, opt.Windows)
+					build, load, opt.Windows, opt.IntraParallel)
 				fr := Fig7Row{App: c.name, Platform: plat.Name, Variant: v,
 					Metrics: r.Metrics, NetBW: r.NetBW, DiskBW: r.DiskBW,
 					AvgMs: r.AvgMs, P99Ms: r.P99Ms}
@@ -124,9 +124,9 @@ func RunFig7(w io.Writer, opt Options) Fig7Result {
 				p.Add(runner.Key("fig7", "social", d.spec.Name, v), func(cw io.Writer) (any, error) {
 					var dep *SNEnv
 					if v == "actual" {
-						dep = NewOriginalSN(d.spec, d.nodes, d.cores, opt.Seed+53)
+						dep = NewOriginalSN(d.spec, d.nodes, d.cores, opt.Seed+53, opt.IntraParallel)
 					} else {
-						dep = NewSynthSN(snClone, d.spec, d.nodes, d.cores, opt.Seed+54)
+						dep = NewSynthSN(snClone, d.spec, d.nodes, d.cores, opt.Seed+54, opt.IntraParallel)
 					}
 					_, per := MeasureSN(dep, snLoad, snWin, fig5SocialTiers)
 					dep.Env.Shutdown()

@@ -92,7 +92,7 @@ func RunFig8(w io.Writer, opt Options) Fig8Result {
 					}
 				}
 				r := measureApp(platform.A(), []platform.Option{platform.WithCoreCount(8)},
-					build, mediumOf(pr.levels), opt.Windows)
+					build, mediumOf(pr.levels), opt.Windows, opt.IntraParallel)
 				fr := fig8Row(c.name, v, r)
 				emit(cw, fr)
 				return fr, nil
@@ -105,9 +105,9 @@ func RunFig8(w io.Writer, opt Options) Fig8Result {
 			p.Add(runner.Key("fig8", "social", v), func(cw io.Writer) (any, error) {
 				var d *SNEnv
 				if v == "actual" {
-					d = NewOriginalSN(platform.A(), nodes, 8, opt.Seed+47)
+					d = NewOriginalSN(platform.A(), nodes, 8, opt.Seed+47, opt.IntraParallel)
 				} else {
-					d = NewSynthSN(snClone, platform.A(), nodes, 8, opt.Seed+48)
+					d = NewSynthSN(snClone, platform.A(), nodes, 8, opt.Seed+48, opt.IntraParallel)
 				}
 				_, per := MeasureSN(d, snLoad, snWin, fig5SocialTiers)
 				d.Env.Shutdown()

@@ -53,7 +53,7 @@ func RunFig9(w io.Writer, opt Options) Fig9Result {
 	})
 	p.Add(runner.Key("fig9", "target"), func(cw io.Writer) (any, error) {
 		r := measureApp(platform.A(), []platform.Option{platform.WithCoreCount(8)},
-			c.build, load, opt.Windows)
+			c.build, load, opt.Windows, opt.IntraParallel)
 		fr := fig9Of("target", r, opt.Windows)
 		emit(cw, fr)
 		return fr, nil
@@ -80,7 +80,7 @@ func RunFig9(w io.Writer, opt Options) Fig9Result {
 			r := measureApp(platform.A(), []platform.Option{platform.WithCoreCount(8)},
 				func(m *platform.Machine) app.App {
 					return synth.NewServer(m, c.port, spec, opt.Seed+61)
-				}, load, opt.Windows)
+				}, load, opt.Windows, opt.IntraParallel)
 			fr := fig9Of(st.String(), r, opt.Windows)
 			emit(cw, fr)
 			return fr, nil

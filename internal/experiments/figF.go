@@ -140,11 +140,11 @@ func measureSNFault(d *SNEnv, load Load, win Windows, sc figFScenario, seed uint
 		Port: d.Port, Conns: load.Conns, QPS: load.QPS, Mix: load.Mix, Seed: load.Seed,
 	})
 	g.Start()
-	d.Env.Eng.RunFor(win.Warmup)
+	d.Env.RunFor(win.Warmup)
 	g.Reset()
-	start := d.Env.Eng.Now()
-	d.Env.Eng.RunFor(win.Measure)
-	dur := (d.Env.Eng.Now() - start).Seconds()
+	start := d.Env.Now()
+	d.Env.RunFor(win.Measure)
+	dur := (d.Env.Now() - start).Seconds()
 
 	lat := g.Latency()
 	received, failed := g.Received(), g.Failed()
@@ -195,9 +195,9 @@ func RunFigF(w io.Writer, opt Options, qps float64) FigFResult {
 			load := Load{QPS: qps, Conns: 16, Mix: SNMix(), Seed: opt.Seed}
 			var d *SNEnv
 			if v == "actual" {
-				d = NewOriginalSN(platform.A(), nodes, 8, opt.Seed+11)
+				d = NewOriginalSN(platform.A(), nodes, 8, opt.Seed+11, opt.IntraParallel)
 			} else {
-				d = NewSynthSN(clone, platform.A(), nodes, 8, opt.Seed+12)
+				d = NewSynthSN(clone, platform.A(), nodes, 8, opt.Seed+12, opt.IntraParallel)
 			}
 			pt := measureSNFault(d, load, opt.Windows, sc, linkSeed(opt.Seed, sc.name, v))
 			pt.Variant = v

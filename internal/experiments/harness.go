@@ -20,43 +20,105 @@ import (
 )
 
 // Env is one self-contained simulation environment: a server machine and a
-// client machine joined by a cluster fabric, on a fresh engine.
+// client machine joined by a cluster fabric. In classic mode every machine
+// shares one engine (Eng); in sharded mode each machine owns a shard of a
+// World and Eng is nil — drive the environment through the Env methods
+// (RunFor/RunUntil/Now), which work in both modes.
 type Env struct {
-	Eng     *sim.Engine
+	Eng     *sim.Engine // classic single-queue engine; nil when sharded
+	World   *sim.World  // sharded conservative-parallel engine; nil when classic
 	Cluster *platform.Cluster
 	Server  *platform.Machine
 	Client  *platform.Machine
 	extra   []*platform.Machine
 }
 
-// NewEnv builds an environment on the given server platform. Client runs on
-// a generously sized Platform A box so it never bottlenecks.
+// NewEnv builds a classic single-engine environment on the given server
+// platform. Client runs on a generously sized Platform A box so it never
+// bottlenecks.
 func NewEnv(spec platform.Spec, serverOpts ...platform.Option) *Env {
-	eng := sim.NewEngine()
-	cl := platform.NewCluster(eng, 100*sim.Microsecond)
-	srv := platform.NewMachine(eng, "server", spec, serverOpts...)
-	cli := platform.NewMachine(eng, "client", platform.A(), platform.WithCoreCount(16))
-	cl.Add(srv)
-	cl.Add(cli)
-	return &Env{Eng: eng, Cluster: cl, Server: srv, Client: cli}
+	return NewEnvW(0, spec, serverOpts...)
+}
+
+// NewEnvW builds an environment with the given intra-cell parallelism.
+// intra ≤ 0 keeps the classic single-queue engine (today's exact event
+// order); intra ≥ 1 gives every machine its own event-queue shard of a
+// World advanced by up to intra workers, with the cluster's minimum one-way
+// delay as the conservative lookahead. Results are byte-identical at every
+// intra width ≥ 1 — width only changes how many OS threads advance shards.
+func NewEnvW(intra int, spec platform.Spec, serverOpts ...platform.Option) *Env {
+	const rtt = 100 * sim.Microsecond
+	e := &Env{}
+	var eng *sim.Engine
+	if intra > 0 {
+		e.World = sim.NewWorld(rtt/2, intra)
+	} else {
+		eng = sim.NewEngine()
+		e.Eng = eng
+	}
+	e.Cluster = platform.NewCluster(eng, rtt)
+	e.Server = platform.NewMachine(e.newShard(), "server", spec, serverOpts...)
+	e.Client = platform.NewMachine(e.newShard(), "client", platform.A(), platform.WithCoreCount(16))
+	e.Cluster.Add(e.Server)
+	e.Cluster.Add(e.Client)
+	return e
+}
+
+// newShard returns the engine for the next machine: a fresh shard in
+// sharded mode, the shared engine otherwise.
+func (e *Env) newShard() *sim.Engine {
+	if e.World != nil {
+		return e.World.NewShard()
+	}
+	return e.Eng
 }
 
 // AddMachine attaches another server machine to the environment (multi-node
 // microservice deployments).
 func (e *Env) AddMachine(name string, spec platform.Spec, opts ...platform.Option) *platform.Machine {
-	m := platform.NewMachine(e.Eng, name, spec, opts...)
+	m := platform.NewMachine(e.newShard(), name, spec, opts...)
 	e.Cluster.Add(m)
 	e.extra = append(e.extra, m)
 	return m
 }
 
-// Shutdown stops every kernel and drains the engine, releasing thread
+// RunFor advances the environment's virtual time by d.
+func (e *Env) RunFor(d sim.Time) {
+	if e.World != nil {
+		e.World.RunFor(d)
+		return
+	}
+	e.Eng.RunFor(d)
+}
+
+// RunUntil advances the environment's virtual time to exactly t.
+func (e *Env) RunUntil(t sim.Time) {
+	if e.World != nil {
+		e.World.RunUntil(t)
+		return
+	}
+	e.Eng.RunUntil(t)
+}
+
+// Now returns the environment's virtual time.
+func (e *Env) Now() sim.Time {
+	if e.World != nil {
+		return e.World.Now()
+	}
+	return e.Eng.Now()
+}
+
+// Shutdown stops every kernel and drains the engine(s), releasing thread
 // goroutines.
 func (e *Env) Shutdown() {
 	e.Server.Kernel.Stop()
 	e.Client.Kernel.Stop()
 	for _, m := range e.extra {
 		m.Kernel.Stop()
+	}
+	if e.World != nil {
+		e.World.Run()
+		return
 	}
 	e.Eng.Run()
 }
@@ -150,11 +212,12 @@ func metricsOf(c cpu.Counters) profile.TargetMetrics {
 }
 
 // measureApp is the standard single-tier measurement cell body: build an
-// environment on spec, start the app build returns, measure it under load,
-// and tear the environment down. Every state it touches is freshly
-// constructed, which is what makes cells safe to run concurrently.
-func measureApp(spec platform.Spec, opts []platform.Option, build AppBuilder, load Load, win Windows) Result {
-	env := NewEnv(spec, opts...)
+// environment on spec (sharded when intra ≥ 1), start the app build
+// returns, measure it under load, and tear the environment down. Every
+// state it touches is freshly constructed, which is what makes cells safe
+// to run concurrently.
+func measureApp(spec platform.Spec, opts []platform.Option, build AppBuilder, load Load, win Windows, intra int) Result {
+	env := NewEnvW(intra, spec, opts...)
 	a := build(env.Server)
 	a.Start()
 	r := Measure(env, a, load, win)
@@ -171,12 +234,12 @@ func Measure(env *Env, a app.App, load Load, win Windows) Result {
 		Mix: load.Mix, Seed: load.Seed,
 	})
 	g.Start()
-	env.Eng.RunFor(win.Warmup)
+	env.RunFor(win.Warmup)
 	g.Reset()
 	before := snap(a.Proc())
-	start := env.Eng.Now()
-	env.Eng.RunFor(win.Measure)
-	dur := (env.Eng.Now() - start).Seconds()
+	start := env.Now()
+	env.RunFor(win.Measure)
+	dur := (env.Now() - start).Seconds()
 	after := snap(a.Proc())
 
 	ctr := deltaCounters(after.ctr, before.ctr)
@@ -232,7 +295,7 @@ func ProfileRun(build AppBuilder, load Load, win Windows, maxDataWS int) *profil
 		Seed: load.Seed,
 	})
 	g.Start()
-	env.Eng.RunFor(win.Warmup + win.Measure)
+	env.RunFor(win.Warmup + win.Measure)
 	prof := p.Finish()
 	env.Shutdown()
 	return prof

@@ -23,7 +23,17 @@ func runPlan(w io.Writer, p *runner.Plan, opt Options, head string) []runner.Cel
 		return nil
 	}
 	header(w, opt, head)
-	results := runner.Run(w, p, runner.Options{Parallel: opt.Parallel, Progress: opt.Progress})
+	par := opt.Parallel
+	if opt.IntraParallel > 1 {
+		// Each cell now spins up to IntraParallel shard workers of its own;
+		// shrink the cell pool so the total thread budget stays roughly at
+		// the requested -parallel width.
+		par = runner.EffectiveWidth(opt.Parallel) / opt.IntraParallel
+		if par < 1 {
+			par = 1
+		}
+	}
+	results := runner.Run(w, p, runner.Options{Parallel: par, Progress: opt.Progress})
 	for _, r := range results {
 		if r.Err != nil {
 			row(w, "# cell %s failed: %v", r.Name, r.Err)

@@ -46,9 +46,11 @@ func (d *SNEnv) SetResilience(r *app.Resilience) {
 }
 
 // NewOriginalSN deploys the original Social Network over nodes machines of
-// the given spec (round-robin placement, one replica per tier).
-func NewOriginalSN(spec platform.Spec, nodes int, coresPer int, seed int64) *SNEnv {
-	env := NewEnv(spec, platform.WithCoreCount(coresPer))
+// the given spec (round-robin placement, one replica per tier). intra sets
+// the environment's intra-cell parallelism (see NewEnvW); pass 0 for the
+// classic single-queue engine.
+func NewOriginalSN(spec platform.Spec, nodes int, coresPer int, seed int64, intra int) *SNEnv {
+	env := NewEnvW(intra, spec, platform.WithCoreCount(coresPer))
 	machines := []*platform.Machine{env.Server}
 	for i := 1; i < nodes; i++ {
 		machines = append(machines, env.AddMachine("node"+string(rune('0'+i)), spec,
@@ -84,7 +86,7 @@ func MeasureSN(d *SNEnv, load Load, win Windows, tiers []string) (Result, map[st
 		Port: d.Port, Conns: load.Conns, QPS: load.QPS, Mix: load.Mix, Seed: load.Seed,
 	})
 	g.Start()
-	d.Env.Eng.RunFor(win.Warmup)
+	d.Env.RunFor(win.Warmup)
 	g.Reset()
 	before := map[string]snapshot{}
 	for _, tn := range tiers {
@@ -92,9 +94,9 @@ func MeasureSN(d *SNEnv, load Load, win Windows, tiers []string) (Result, map[st
 			before[tn] = snap(p)
 		}
 	}
-	start := d.Env.Eng.Now()
-	d.Env.Eng.RunFor(win.Measure)
-	dur := (d.Env.Eng.Now() - start).Seconds()
+	start := d.Env.Now()
+	d.Env.RunFor(win.Measure)
+	dur := (d.Env.Now() - start).Seconds()
 
 	lat := g.Latency()
 	e2e := Result{
@@ -154,7 +156,7 @@ type SNClone struct {
 // and generates the synthetic specs (§4.2: topology from traces; per-tier
 // skeleton and body from the tier profilers).
 func CloneSN(spec platform.Spec, nodes, coresPer int, load Load, win Windows, seed int64) *SNClone {
-	d := NewOriginalSN(spec, nodes, coresPer, seed)
+	d := NewOriginalSN(spec, nodes, coresPer, seed, 0)
 	profilers := map[string]*profile.Profiler{}
 	for _, name := range d.original.Order {
 		p := profile.NewProfiler(name)
@@ -168,7 +170,7 @@ func CloneSN(spec platform.Spec, nodes, coresPer int, load Load, win Windows, se
 		Port: d.Port, Conns: load.Conns, QPS: load.QPS, Mix: load.Mix, Seed: load.Seed,
 	})
 	g.Start()
-	d.Env.Eng.RunFor(win.Warmup + win.Measure)
+	d.Env.RunFor(win.Warmup + win.Measure)
 
 	spans := d.original.Collector.Spans()
 	plans := core.LearnTopology(spans)
@@ -211,9 +213,10 @@ func (r *synthRegistry) Lookup(name string) (*kernel.Kernel, int) {
 }
 
 // NewSynthSN deploys a fully synthetic Social Network from a clone: every
-// tier replaced by its Ditto-generated counterpart (Fig. 6).
-func NewSynthSN(clone *SNClone, spec platform.Spec, nodes, coresPer int, seed int64) *SNEnv {
-	env := NewEnv(spec, platform.WithCoreCount(coresPer))
+// tier replaced by its Ditto-generated counterpart (Fig. 6). intra is the
+// intra-cell parallelism, as in NewOriginalSN.
+func NewSynthSN(clone *SNClone, spec platform.Spec, nodes, coresPer int, seed int64, intra int) *SNEnv {
+	env := NewEnvW(intra, spec, platform.WithCoreCount(coresPer))
 	machines := []*platform.Machine{env.Server}
 	for i := 1; i < nodes; i++ {
 		machines = append(machines, env.AddMachine("snode"+string(rune('0'+i)), spec,

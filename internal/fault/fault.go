@@ -119,85 +119,109 @@ type Scenario struct {
 	Events []Event
 }
 
-// Plane binds scenarios to one cell's engine, fabric, and tier set.
+// Plane binds scenarios to one cell's fabric and tier set.
 type Plane struct {
-	eng    *sim.Engine
+	eng    *sim.Engine // fallback timeline for tierless link events; may be nil
 	fabric *Fabric
 	tiers  map[string]*app.Tier
 }
 
 // NewPlane builds a plane. fabric may be nil when the scenario uses no link
-// faults; tiers maps logical names to deployed tiers.
+// faults; tiers maps logical names to deployed tiers. eng is only a fallback
+// timeline (it may be nil under sharded execution): every fault action is
+// scheduled on the engine of the machine whose state it mutates.
 func NewPlane(eng *sim.Engine, fabric *Fabric, tiers map[string]*app.Tier) *Plane {
 	return &Plane{eng: eng, fabric: fabric, tiers: tiers}
 }
 
-// Schedule registers every event of the scenario as an engine event.
+// Schedule registers every event of the scenario. Each event is decomposed
+// at schedule time into per-owner actions — a tier crash fires on the tier's
+// machine, a link fault on the link's source machine (the side that consults
+// the fault cell at send time) — so under sharded execution every mutation
+// happens on the shard that owns the state. Scheduling happens while the
+// world is idle, so no lookahead constraint applies.
 func (p *Plane) Schedule(sc Scenario) {
 	for _, ev := range sc.Events {
-		ev := ev
-		p.eng.ScheduleFunc(ev.At, func() { p.apply(ev) })
+		switch ev.Op {
+		case OpCrash, OpRestart:
+			op := ev.Op
+			for _, name := range ev.Tiers {
+				t := p.tiers[name]
+				if t == nil {
+					continue
+				}
+				t.M.Eng.ScheduleFunc(ev.At, func() {
+					if op == OpCrash {
+						t.Crash()
+					} else {
+						t.Restart()
+					}
+				})
+			}
+		case OpPartition:
+			a, b := p.machinesOf(ev.Tiers), p.machinesOf(ev.TiersB)
+			for _, l := range p.managedLinks() {
+				if (a[l.Src] && b[l.Dst]) || (b[l.Src] && a[l.Dst]) {
+					p.scheduleLink(ev.At, l, func(f *netsim.LinkFault) { f.Down = true })
+				}
+			}
+		case OpHeal:
+			touch := p.machinesOf(append(append([]string(nil), ev.Tiers...), ev.TiersB...))
+			for _, l := range p.managedLinks() {
+				if len(touch) == 0 || touch[l.Src] || touch[l.Dst] {
+					p.scheduleLink(ev.At, l, (*netsim.LinkFault).Clear)
+				}
+			}
+			for _, m := range p.machineList(touch) {
+				m := m
+				m.Eng.ScheduleFunc(ev.At, func() { m.SetCPUThrottle(1) })
+			}
+		case OpLoss, OpDelay:
+			touch := p.machinesOf(ev.Tiers)
+			for _, l := range p.managedLinks() {
+				if len(touch) == 0 || touch[l.Src] || touch[l.Dst] {
+					if ev.Op == OpLoss {
+						loss := ev.Loss
+						p.scheduleLink(ev.At, l, func(f *netsim.LinkFault) { f.LossProb = loss })
+					} else {
+						d := ev.Delay
+						p.scheduleLink(ev.At, l, func(f *netsim.LinkFault) { f.ExtraOne = d })
+					}
+				}
+			}
+		case OpSlowCPU:
+			thr := ev.Throttle
+			for _, m := range p.machineList(p.machinesOf(ev.Tiers)) {
+				m := m
+				m.Eng.ScheduleFunc(ev.At, func() { m.SetCPUThrottle(thr) })
+			}
+		}
 	}
 }
 
-// apply executes one fault action now.
-func (p *Plane) apply(ev Event) {
-	switch ev.Op {
-	case OpCrash:
-		for _, name := range ev.Tiers {
-			if t := p.tiers[name]; t != nil {
-				t.Crash()
-			}
+// scheduleLink arms one link-fault mutation on the link's owning timeline:
+// the source machine's engine, because the sender is the side that reads the
+// fault cell inside netsim.Send.
+func (p *Plane) scheduleLink(at sim.Time, l Link, fn func(*netsim.LinkFault)) {
+	f := l.Fault
+	l.Src.Eng.ScheduleFunc(at, func() { fn(f) })
+}
+
+// machineList resolves a machine set to a deterministic slice: all tiers'
+// machines (in tier-name order) when the set is empty, else the set filtered
+// through the same ordering. Fault actions must not iterate Go maps.
+func (p *Plane) machineList(set map[*platform.Machine]bool) []*platform.Machine {
+	var out []*platform.Machine
+	seen := map[*platform.Machine]bool{}
+	for _, t := range p.tierList() {
+		m := t.M
+		if seen[m] || (len(set) > 0 && !set[m]) {
+			continue
 		}
-	case OpRestart:
-		for _, name := range ev.Tiers {
-			if t := p.tiers[name]; t != nil {
-				t.Restart()
-			}
-		}
-	case OpPartition:
-		a, b := p.machinesOf(ev.Tiers), p.machinesOf(ev.TiersB)
-		for _, l := range p.managedLinks() {
-			if (a[l.Src] && b[l.Dst]) || (b[l.Src] && a[l.Dst]) {
-				l.Fault.Down = true
-			}
-		}
-	case OpHeal:
-		touch := p.machinesOf(append(append([]string(nil), ev.Tiers...), ev.TiersB...))
-		for _, l := range p.managedLinks() {
-			if len(touch) == 0 || touch[l.Src] || touch[l.Dst] {
-				l.Fault.Clear()
-			}
-		}
-		if len(touch) == 0 {
-			for _, t := range p.tierList() {
-				t.M.SetCPUThrottle(1)
-			}
-		} else {
-			// ditto:determinism-ok reviewed: idempotent per-machine writes;
-			// every machine gets the same throttle whatever the order.
-			for m := range touch {
-				m.SetCPUThrottle(1)
-			}
-		}
-	case OpLoss, OpDelay:
-		touch := p.machinesOf(ev.Tiers)
-		for _, l := range p.managedLinks() {
-			if len(touch) == 0 || touch[l.Src] || touch[l.Dst] {
-				if ev.Op == OpLoss {
-					l.Fault.LossProb = ev.Loss
-				} else {
-					l.Fault.ExtraOne = ev.Delay
-				}
-			}
-		}
-	case OpSlowCPU:
-		// ditto:determinism-ok reviewed: idempotent per-machine writes;
-		// every machine gets the same throttle whatever the order.
-		for m := range p.machinesOf(ev.Tiers) {
-			m.SetCPUThrottle(ev.Throttle)
-		}
+		seen[m] = true
+		out = append(out, m)
 	}
+	return out
 }
 
 // managedLinks returns the fabric's links (empty without a fabric).

@@ -152,7 +152,10 @@ func TestSlowCPUThrottle(t *testing.T) {
 	if slowed != 2*base {
 		t.Fatalf("0.5 throttle should double cycle time: base=%v slowed=%v", base, slowed)
 	}
-	f.plane.apply(Event{Op: OpHeal})
+	f.plane.Schedule(Scenario{Name: "heal", Events: []Event{
+		{At: f.eng.Now(), Op: OpHeal},
+	}})
+	f.eng.RunUntil(f.eng.Now() + sim.Microsecond)
 	if f.m2.Cores[0].Time(1e6) != base {
 		t.Fatal("heal should restore full clock")
 	}

@@ -323,9 +323,10 @@ func (k *Kernel) KillProc(p *Proc) {
 		}
 	}
 	for _, s := range k.sides {
-		if s.proc == p && !s.closed {
-			s.closed = true
-			s.inbox = nil
+		if s.proc == p {
+			// closeSide also FINs the peer, so remote clients blocked on a
+			// connection to the crashed process wake and observe Dead().
+			k.closeSide(s)
 		}
 	}
 	for _, t := range k.threads {

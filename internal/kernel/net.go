@@ -18,7 +18,10 @@ type Msg struct {
 	Sent    sim.Time
 }
 
-// connSide is one direction's receive state.
+// connSide is one direction's receive state. All mutable fields are owned by
+// the side's kernel and only ever touched on its shard; what the remote end
+// knows about us arrives as messages (FIN → peerClosed), never as a direct
+// read of our fields.
 type connSide struct {
 	k       *Kernel
 	proc    *Proc
@@ -27,6 +30,10 @@ type connSide struct {
 	epolls  []*Epoll
 	peer    *connSide
 	closed  bool
+	// peerClosed records that the remote side closed, learned one one-way
+	// link delay after the fact (the FIN's flight time). Local state only:
+	// reading peer.closed directly would cross shards.
+	peerClosed bool
 }
 
 // Endpoint is one side's handle on a connection.
@@ -41,10 +48,12 @@ func (e *Endpoint) Kernel() *Kernel { return e.mine.k }
 // Pending reports queued, undelivered-to-app messages.
 func (e *Endpoint) Pending() int { return len(e.mine.inbox) }
 
-// Dead reports whether either side of the connection has been closed — the
-// signal a resilient client uses to discard a cached connection to a crashed
-// peer and re-dial.
-func (e *Endpoint) Dead() bool { return e.mine.closed || e.peer.closed }
+// Dead reports whether this side has closed or has learned (via the peer's
+// FIN) that the remote side closed — the signal a resilient client uses to
+// discard a cached connection to a crashed peer and re-dial. A remote crash
+// becomes visible one one-way link delay after it happens, as on a real
+// network.
+func (e *Endpoint) Dead() bool { return e.mine.closed || e.mine.peerClosed }
 
 // Listener accepts incoming connections on a port.
 type Listener struct {
@@ -84,14 +93,53 @@ func (t *Thread) ConnectTimeout(dst *Kernel, port int, d sim.Time) *Endpoint {
 }
 
 // connect implements Connect/ConnectTimeout; deadline < 0 retries forever.
+//
+// The handshake is a real SYN/SYN-ACK exchange so that every touch of the
+// server's state happens on the server's own timeline: the SYN crosses the
+// link in one one-way delay and is judged against the listener table at that
+// instant (binding or refusing on the server's shard), and the verdict rides
+// the SYN/ACK back — the client learns the outcome one full RTT after
+// sending, refused and accepted alike. A refused attempt sleeps 200µs and
+// retries (the connection-refused retry loop real clients run at startup).
 func (t *Thread) connect(dst *Kernel, port int, deadline sim.Time) *Endpoint {
 	t.syscallEnter(SysSocket, 0, "socket")
 	t.syscallEnter(SysConnect, 0, "socket")
 	k := t.k
-	// Retry until the server binds the port (connection-refused retry loop,
-	// as real clients do at startup).
-	l := dst.listeners[port]
-	for l == nil {
+	path := k.path(dst)
+	rtt := path.RTT
+	if path.Loopback {
+		rtt = netsim.LoopbackRTT
+	}
+	half := rtt / 2
+	for {
+		a := &connSide{k: k, proc: t.Proc}
+		k.sides = append(k.sides, a)
+		var accepted, done bool
+		k.eng.ScheduleCross(dst.eng, k.eng.Now()+half, func() {
+			var b *connSide
+			if l := dst.listeners[port]; l != nil {
+				b = &connSide{k: dst, peer: a}
+				dst.sides = append(dst.sides, b)
+				l.backlog = append(l.backlog, &Endpoint{mine: b, peer: a})
+				wakeAll(dst, &l.waiters, "socket")
+				notifyEpolls(dst, l.epolls)
+			}
+			dst.eng.ScheduleCross(k.eng, dst.eng.Now()+half, func() {
+				if b != nil {
+					a.peer = b
+					accepted = true
+				}
+				done = true
+				k.wake(t, "socket")
+			})
+		})
+		for !done {
+			t.park()
+		}
+		if accepted {
+			return &Endpoint{mine: a, peer: a.peer}
+		}
+		a.closed = true // half-open side of the refused attempt
 		if deadline >= 0 && k.eng.Now() >= deadline {
 			return nil
 		}
@@ -100,33 +148,7 @@ func (t *Thread) connect(dst *Kernel, port int, deadline sim.Time) *Endpoint {
 			wait = deadline - k.eng.Now()
 		}
 		t.Sleep(wait)
-		l = dst.listeners[port]
 	}
-	a := &connSide{k: k, proc: t.Proc}
-	b := &connSide{k: dst}
-	k.sides = append(k.sides, a)
-	dst.sides = append(dst.sides, b)
-	a.peer, b.peer = b, a
-	client := &Endpoint{mine: a, peer: b}
-	server := &Endpoint{mine: b, peer: a}
-
-	// SYN + SYN/ACK: one RTT before the server sees the connection.
-	path := k.path(dst)
-	rtt := path.RTT
-	if path.Loopback {
-		rtt = netsim.LoopbackRTT
-	}
-	done := k.eng.Now() + rtt
-	k.eng.ScheduleFunc(done, func() {
-		l.backlog = append(l.backlog, server)
-		wakeAll(l.k, &l.waiters, "socket")
-		notifyEpolls(l.k, l.epolls)
-		k.wake(t, "socket")
-	})
-	for k.eng.Now() < done {
-		t.park()
-	}
-	return client
 }
 
 // Accept dequeues one pending connection, blocking while the backlog is
@@ -166,19 +188,30 @@ func (t *Thread) Send(e *Endpoint, bytes int, payload any) {
 }
 
 // delivery is one in-flight message handoff: the callback netsim invokes at
-// arrival time. Objects recycle through the sending kernel's pool; the
-// bound fn closure is allocated once per object. A faulted-and-dropped send
-// never fires its callback, so that object simply stays out of the pool.
+// arrival time. Objects recycle through a kernel pool; the bound fn closure
+// is allocated once per object. A faulted-and-dropped send never fires its
+// callback, so that object simply stays out of the pool.
 type delivery struct {
-	k    *Kernel // pool owner (the sending kernel)
+	k    *Kernel // pool owner (the kernel whose shard runs the delivery)
 	side *connSide
 	msg  Msg
 	fn   func()
 }
 
 // newDelivery takes a delivery object from the pool (or mints one) and arms
-// it with the destination and message.
+// it with the destination and message. When the destination side lives on
+// another shard the object is minted fresh and owned by the destination
+// kernel: run() executes over there and returns it to that kernel's pool —
+// touching the sender's pool from the destination shard (or vice versa)
+// would be a cross-shard mutation.
 func (k *Kernel) newDelivery(side *connSide, msg Msg) *delivery {
+	if side.k.eng != k.eng {
+		d := &delivery{k: side.k}
+		d.fn = d.run
+		d.side = side
+		d.msg = msg
+		return d
+	}
 	var d *delivery
 	if n := len(k.deliveries); n > 0 {
 		d = k.deliveries[n-1]
@@ -236,7 +269,7 @@ func (t *Thread) RecvTimeout(e *Endpoint, d sim.Time) (Msg, bool) {
 		deadline := t.k.eng.Now() + d
 		t.k.eng.ScheduleFunc(deadline, t.wakeTimer())
 		for len(side.inbox) == 0 {
-			if side.closed || side.peer.closed || t.k.eng.Now() >= deadline {
+			if side.closed || side.peerClosed || t.k.eng.Now() >= deadline {
 				t.syscallEnter(SysRecv, 0, "socket")
 				return Msg{}, false
 			}
@@ -265,11 +298,40 @@ func (t *Thread) TryRecv(e *Endpoint) (Msg, bool) {
 	return msg, true
 }
 
-// CloseConn tears down the endpoint's receive side.
+// CloseConn tears down the endpoint's receive side and sends the peer a FIN.
 func (t *Thread) CloseConn(e *Endpoint) {
 	t.syscallEnter(SysClose, 0, "socket")
-	e.mine.closed = true
-	e.mine.inbox = nil
+	t.k.closeSide(e.mine)
+}
+
+// closeSide closes one connection side and notifies the peer's machine one
+// one-way link delay later, waking anything blocked on the now-dead
+// connection. The FIN is the only way close-ness propagates: the peer's
+// fields are never read or written from this shard.
+func (k *Kernel) closeSide(s *connSide) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.inbox = nil
+	peer := s.peer
+	if peer == nil {
+		return
+	}
+	path := k.path(peer.k)
+	half := path.RTT / 2
+	if path.Loopback {
+		half = netsim.LoopbackRTT / 2
+	}
+	pk := peer.k
+	k.eng.ScheduleCross(pk.eng, k.eng.Now()+half, func() {
+		if peer.peerClosed {
+			return
+		}
+		peer.peerClosed = true
+		wakeAll(pk, &peer.waiters, "socket")
+		notifyEpolls(pk, peer.epolls)
+	})
 }
 
 // path resolves the network path between two kernels.

@@ -68,9 +68,14 @@ type Path struct {
 // so a scenario replays bit-identically from its seed regardless of what
 // else runs in the same OS process.
 type LinkFault struct {
-	Down     bool     // partition: every message is blackholed
-	LossProb float64  // per-message drop probability
-	ExtraOne sim.Time // added one-way propagation (latency spike)
+	Down     bool    // partition: every message is blackholed
+	LossProb float64 // per-message drop probability
+	// ExtraOne is added one-way propagation (latency spike). It must never be
+	// negative: under sharded execution the fabric's base one-way delay is
+	// the conservative lookahead already granted to every shard, and a
+	// negative adjustment would deliver a message inside a window another
+	// shard has committed past (sim.World audits this and panics).
+	ExtraOne sim.Time
 
 	Dropped uint64 // messages blackholed or lost on this link
 	rng     uint64
@@ -140,12 +145,32 @@ func Send(eng *sim.Engine, p Path, bytes int, deliver func()) sim.Time {
 			return arrive
 		}
 	}
-	if p.Dst != nil {
-		p.Dst.RxBytes += uint64(bytes)
-		p.Dst.RxMsgs++
+	dst := eng
+	if p.Dst != nil && p.Dst.eng != nil {
+		dst = p.Dst.eng
 	}
-	if deliver != nil {
-		eng.ScheduleFunc(arrive, deliver)
+	if dst == eng {
+		if p.Dst != nil {
+			p.Dst.RxBytes += uint64(bytes)
+			p.Dst.RxMsgs++
+		}
+		if deliver != nil {
+			eng.ScheduleFunc(arrive, deliver)
+		}
+		return arrive
 	}
+	// The destination NIC lives on another shard: receiver-side accounting
+	// and delivery both execute on the destination machine's timeline, where
+	// its state may be touched. The arrival sits at least one one-way link
+	// delay out, which is exactly the world's lookahead, so the cross-shard
+	// schedule always clears the conservative horizon.
+	n, b := p.Dst, bytes
+	eng.ScheduleCross(dst, arrive, func() {
+		n.RxBytes += uint64(b)
+		n.RxMsgs++
+		if deliver != nil {
+			deliver()
+		}
+	})
 	return arrive
 }

@@ -124,6 +124,11 @@ type Machine struct {
 	NIC    *netsim.NIC
 	Disk   *disk.Device
 	DRAM   mem.DRAM
+	// Index is the machine's insertion position in its Cluster (0 until
+	// added). It is the stable small integer that keys per-machine state in
+	// shared structures — e.g. a tracing Collector's per-shard arms — so
+	// identity never depends on pointers.
+	Index int
 }
 
 // NewMachine builds a machine of the given spec.
@@ -230,10 +235,19 @@ func NewCluster(eng *sim.Engine, rtt sim.Time) *Cluster {
 
 // Add registers a machine and wires its kernel into the fabric.
 func (c *Cluster) Add(m *Machine) {
+	m.Index = len(c.machines)
 	c.machines = append(c.machines, m)
 	c.byKernel[m.Kernel] = m
 	m.Kernel.SetFabric(c)
 }
+
+// Lookahead returns the conservative-parallel horizon this fabric supports:
+// the minimum one-way delay between distinct machines. Every cross-machine
+// interaction pays at least RTT/2 of propagation (loopback never leaves a
+// machine's own shard), so shards may safely run this far ahead of each
+// other. Fault planes can only add delay (LinkFault.ExtraOne ≥ 0), never
+// shrink it below this commitment.
+func (c *Cluster) Lookahead() sim.Time { return c.RTT / 2 }
 
 // Machines returns the registered machines in insertion order.
 func (c *Cluster) Machines() []*Machine { return c.machines }

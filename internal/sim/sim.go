@@ -11,6 +11,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 )
 
 // Time is a point in virtual time, in picoseconds since the start of the
@@ -37,9 +38,14 @@ func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
 // FromSeconds converts floating-point seconds to a Time, saturating on
-// overflow rather than wrapping.
+// overflow rather than wrapping. NaN maps to 0: it fails every ordered
+// comparison, so without an explicit test it would fall through to an
+// undefined float→int conversion.
 func FromSeconds(s float64) Time {
 	v := s * float64(Second)
+	if math.IsNaN(v) {
+		return 0
+	}
 	if v > float64(1<<62) {
 		return Time(1 << 62)
 	}
@@ -120,9 +126,11 @@ func (h *eventHeap) Pop() any {
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
-// one with NewEngine. An Engine is not safe for concurrent use: the entire
-// simulation is single-goroutine by design, which is what makes it
-// deterministic.
+// one with NewEngine. An Engine is not safe for concurrent use: everything on
+// one engine's timeline is single-goroutine by design, which is what makes it
+// deterministic. A World (see shard.go) composes several engines — one per
+// machine — and advances them concurrently inside conservative windows; each
+// engine is still only ever touched by one goroutine at a time.
 type Engine struct {
 	now    Time
 	events eventHeap
@@ -133,6 +141,10 @@ type Engine struct {
 	// hot path (kernel wakeups, network deliveries — millions per run)
 	// stops allocating one *Event per schedule.
 	free []*Event
+	// id and world bind a shard engine to its World; both stay zero for a
+	// classic standalone engine.
+	id    int
+	world *World
 }
 
 // NewEngine returns an empty engine positioned at the simulation epoch.
@@ -211,13 +223,12 @@ func (e *Engine) Cancel(ev *Event) bool {
 }
 
 // Step fires the next pending event, advancing the clock to its time. It
-// reports whether an event was fired.
+// reports whether an event was fired. Cancelled events need no filtering
+// here: Cancel heap.Removes the event, so a cancelled event is never in the
+// heap (TestCancelNeverPopped pins the invariant).
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
+	if len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
-		if ev.cancelled {
-			continue
-		}
 		e.now = ev.at
 		e.fired++
 		fn := ev.fn
@@ -242,17 +253,10 @@ func (e *Engine) Run() {
 }
 
 // RunUntil fires events with time ≤ t, then advances the clock to exactly t.
-// Events scheduled for later remain pending.
+// Events scheduled for later remain pending. As in Step, no cancelled-event
+// filtering is needed: Cancel removes events from the heap.
 func (e *Engine) RunUntil(t Time) {
-	for len(e.events) > 0 {
-		next := e.events[0]
-		if next.cancelled {
-			heap.Pop(&e.events)
-			continue
-		}
-		if next.at > t {
-			break
-		}
+	for len(e.events) > 0 && e.events[0].at <= t {
 		e.Step()
 	}
 	if t > e.now {
@@ -262,3 +266,35 @@ func (e *Engine) RunUntil(t Time) {
 
 // RunFor runs the simulation for a span of d from the current time.
 func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// ScheduleCross registers fn at absolute time at on dst's timeline. When both
+// engines are shards of the same running World, the event is staged in the
+// destination's ordered inbox and merged at the next window barrier — the
+// only way one shard may touch another's future. Outside a running World
+// (same engine, standalone engines, or setup time between World runs) it
+// degenerates to a plain handle-free schedule on dst.
+func (e *Engine) ScheduleCross(dst *Engine, at Time, fn func()) {
+	if dst == e || e.world == nil || e.world != dst.world || !e.world.running {
+		dst.schedule(at, fn, true)
+		return
+	}
+	e.world.stage(e, dst, at, fn)
+}
+
+// nextAt reports the time of the earliest pending event.
+func (e *Engine) nextAt() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// runWindow fires every pending event strictly before bound. The bound is
+// exclusive so a window [next, next+lookahead) can never fire an event that
+// a not-yet-merged cross-shard message (which always lands at ≥ now +
+// lookahead) should have preceded.
+func (e *Engine) runWindow(bound Time) {
+	for len(e.events) > 0 && e.events[0].at < bound {
+		e.Step()
+	}
+}
