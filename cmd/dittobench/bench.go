@@ -42,6 +42,10 @@ type benchReport struct {
 	// quick windows): chaos plane + resilient RPC end to end.
 	FaultCell benchStat `json:"fault_cell"`
 
+	// One storage figure cell (figS lsm, original variant, quick windows):
+	// WAL fsyncs, dirty-page writeback, and LSM flush/compaction end to end.
+	StorageCell benchStat `json:"storage_cell"`
+
 	// Request-stream emission: fresh per-request generation vs serving a
 	// pregenerated rotating variant, and the decoded-trace dynamic pass.
 	EmitUncached benchStat `json:"emit_uncached"`
@@ -148,6 +152,16 @@ func writeBenchJSON(path string, opt experiments.Options) error {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			experiments.RunFigF(discard{}, faultOpt, 600)
+		}
+	}))
+
+	fmt.Fprintln(os.Stderr, "bench: storage figure cell (figS lsm, quick windows)")
+	storeOpt := opt
+	storeOpt.CellFilter = regexp.MustCompile(`figS/lsm/actual`)
+	rep.StorageCell = statOf(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			experiments.RunFigS(discard{}, storeOpt, 0)
 		}
 	}))
 

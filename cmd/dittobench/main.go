@@ -128,5 +128,6 @@ func figures(opt experiments.Options) []func(w *os.File) {
 		func(w *os.File) { experiments.RunFig10(w, opt) },
 		func(w *os.File) { experiments.RunFig11(w, opt, nil, nil) },
 		func(w *os.File) { experiments.RunFigF(w, opt, 0) },
+		func(w *os.File) { experiments.RunFigS(w, opt, 0) },
 	}
 }

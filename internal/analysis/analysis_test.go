@@ -65,6 +65,27 @@ func TestUniformSuppression(t *testing.T) {
 	}
 }
 
+// TestStoreBugsFixture runs the whole AST suite over the storage-shaped
+// fixture: a miniature WAL + block store exhibiting each analyzer's bug
+// class the way store code produces it (package-level cursors, host-clock
+// fsync timing, global random victim choice, hash-ordered writeback, a
+// background flusher goroutine) next to the seeded, instance-owned clean
+// paths. All six analyzers firing on storage idioms is the satellite
+// guarantee behind linting internal/app/dittofs.
+func TestStoreBugsFixture(t *testing.T) {
+	analysistest.RunAll(t, "testdata", analysis.All(), "storebugs")
+}
+
+// TestStoreNoallocFixture drives the escape-analysis gate over the
+// storage hot paths: the per-commit WAL record path fails when annotated
+// and allocating, stays silent when clean, unannotated, or reviewed.
+func TestStoreNoallocFixture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the fixture module; skipped in -short")
+	}
+	analysistest.RunNoalloc(t, "testdata", "storenoalloc")
+}
+
 // TestFindingsSorted pins the driver's report order: findings come back
 // sorted by file, line, column, analyzer — the stability the JSON report
 // consumers rely on.

@@ -41,6 +41,20 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
 	check(t, filepath.Join(testdata, dir), findings)
 }
 
+// RunAll applies several analyzers to the fixture package at once and
+// checks their combined findings against the fixture's want comments —
+// the shape of a real lint run, where one source file can trip any
+// analyzer in the suite.
+func RunAll(t *testing.T, testdata string, as []*analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := "src/" + pkg
+	findings, err := analysis.Run(testdata, []string{dir}, as)
+	if err != nil {
+		t.Fatalf("run suite on %s: %v", dir, err)
+	}
+	check(t, filepath.Join(testdata, dir), findings)
+}
+
 // RunNoalloc applies the escape-analysis gate to the fixture package and
 // checks its findings the same way. The fixture module is compiled with
 // the real toolchain, so the test exercises the full go build -gcflags=-m

@@ -1,0 +1,95 @@
+// Package storebugs is a storage-shaped fixture: a miniature WAL + block
+// store written the way store code goes wrong, one construct per analyzer
+// in the suite. The shared-state and wall-clock classes lead because they
+// are the likely bug sources in real store code — package-level cursors
+// and host-clock fsync timing — with the seeded, instance-owned versions
+// alongside as the negatives the suite must tolerate.
+package storebugs
+
+import (
+	"math/rand"
+	"time"
+)
+
+// walCursor is the classic store bug: a package-level append cursor makes
+// two deployments in one process share a WAL tail.
+var walCursor int64
+
+// openStores is package-level registry state.
+var openStores = map[string]int{}
+
+// blockSize is computed once at init and read-only afterwards — silent.
+var blockSize int
+
+func init() {
+	blockSize = 4 << 10
+}
+
+// store is the instance-owned counterpart: every field below is private
+// to one deployment, so the mutations in its methods stay silent.
+type store struct {
+	cursor int64
+	dirty  map[int64]bool
+	order  []int64
+	rng    *rand.Rand
+	fsyncs int
+}
+
+// Append advances the package-level cursor — fires — and times the fsync
+// with the host clock — fires twice.
+func Append(bytes int64) time.Duration {
+	walCursor += bytes       // want "package-level var walCursor"
+	start := time.Now()      // want "reads the host clock"
+	return time.Since(start) // want "reads the host clock"
+}
+
+// Open registers the store in package state — fires on the map write.
+func Open(name string) {
+	openStores[name] = 1 // want "package-level var openStores"
+}
+
+// PickVictim samples the global random stream — fires — instead of an
+// owned, seeded source.
+func PickVictim(resident int) int {
+	return rand.Intn(resident) // want "global random stream"
+}
+
+// Writeback walks the dirty-page map in hash order — fires — so flush
+// order (and therefore disk interleaving) differs run to run.
+func (s *store) Writeback(flush func(int64)) {
+	for page := range s.dirty { // want "unordered"
+		flush(page)
+	}
+}
+
+// FlushAsync hands the flush to a bare goroutine over a channel — the
+// whole block fires: spawn, make(chan), send, receive.
+func (s *store) FlushAsync(flush func(int64)) int64 {
+	done := make(chan int64, 1) // want "make\\(chan\\)"
+	go func() {                 // want "bare go statement"
+		flush(s.cursor)
+		done <- s.cursor // want "channel send"
+	}()
+	return <-done // want "channel receive"
+}
+
+// AppendOwned is the clean commit path: instance cursor, seeded sampling,
+// insertion-ordered writeback — silent end to end.
+func (s *store) AppendOwned(bytes int64, flush func(int64)) {
+	s.cursor += bytes
+	victim := s.order[s.rng.Intn(len(s.order))]
+	if s.dirty[victim] {
+		flush(victim)
+		delete(s.dirty, victim)
+	}
+	s.fsyncs++
+}
+
+// SuppressedCursor carries a reviewed annotation; the sibling write below
+// must still fire.
+func SuppressedCursor() {
+	// ditto:determinism-ok fixture: reviewed one-time geometry probe
+	walCursor = 0
+
+	walCursor = 1 // want "package-level var walCursor"
+}

@@ -1,0 +1,44 @@
+// Package storenoalloc exercises the escape-analysis gate on storage
+// hot-path shapes: the per-commit WAL record path must stay allocation
+// free (it runs once per request), while one-time store construction may
+// allocate outside the gate's scope.
+package storenoalloc
+
+// journal keeps record buffers alive so fixture allocations escape.
+var journal [][]byte
+
+// Commit is the per-request WAL append: annotated, yet it builds the
+// record on the heap — the gate must fail it.
+// ditto:noalloc
+func Commit(payload []byte) {
+	rec := make([]byte, len(payload)+16) // want "escapes to heap"
+	copy(rec[16:], payload)
+	journal = append(journal, rec)
+}
+
+// Checksum is the clean hot path: arithmetic over existing storage.
+// ditto:noalloc
+func Checksum(block []byte) uint32 {
+	var sum uint32
+	for _, b := range block {
+		sum = sum*31 + uint32(b)
+	}
+	return sum
+}
+
+// NewJournal is store construction — allocating, but unannotated and so
+// out of the gate's scope.
+func NewJournal(capacity int) {
+	journal = make([][]byte, 0, capacity)
+}
+
+// WarmCommit is annotated; its single allocation is a reviewed first-use
+// buffer the gate must tolerate.
+// ditto:noalloc
+func WarmCommit(payload []byte) int {
+	if journal == nil {
+		// ditto:determinism-ok fixture: reviewed first-use pregeneration
+		journal = make([][]byte, 0, 64)
+	}
+	return len(journal) + len(payload)
+}

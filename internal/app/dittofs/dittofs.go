@@ -1,0 +1,437 @@
+// Package dittofs is the storage-bound workload family: an NFS-style file
+// service cloned end to end by the Ditto pipeline. A protocol-adapter front
+// tier decodes requests, walks metadata, and serves content through a
+// write-ahead log (append + fsync on every commit) and an application-level
+// block cache, over one of three pluggable content backends — in-memory,
+// LSM-style on-disk with compaction-shaped write amplification, or a remote
+// blob tier reached by RPC. Every storage decision runs on the handler
+// thread, so the profiler sees the real syscall mix (§4.4) and dtrace
+// attributes disk traffic per tier.
+package dittofs
+
+import (
+	"ditto/internal/app"
+	"ditto/internal/isa"
+	"ditto/internal/kernel"
+	"ditto/internal/platform"
+	"ditto/internal/stats"
+)
+
+// Request kinds: the NFS-style operation mix.
+const (
+	OpGetattr = iota
+	OpLookup
+	OpRead
+	OpWrite
+	NumOps
+)
+
+// OpName names a request kind for span operations; core's topology learner
+// maps these names back to kinds.
+func OpName(kind int) string {
+	switch kind {
+	case OpGetattr:
+		return "fs-getattr"
+	case OpLookup:
+		return "fs-lookup"
+	case OpRead:
+		return "fs-read"
+	case OpWrite:
+		return "fs-write"
+	}
+	return "fs-op"
+}
+
+// AdapterName and BlobName are the tier names the adapter and blob store
+// register under (and that learned call plans target).
+const (
+	AdapterName = "dittofs-adapter"
+	BlobName    = "dittofs-blobstore"
+)
+
+// Config shapes one DittoFS deployment.
+type Config struct {
+	Backend          string // "mem", "lsm", or "blob"
+	DatasetBytes     int64  // logical content size
+	BlockBytes       int    // content block (and blob object) size
+	ReadBlocks       int    // blocks per read op — >1 makes multi-call blob edges
+	WriteBytes       int    // bytes per write op
+	HotFrac          float64
+	HotBlocks        int64 // hot-set size in blocks; sized under the block cache
+	WALBytes         int64
+	BlockCacheMB     int // app-level cache, sized to overflow the page cache
+	MetaBytes        int64
+	MetaJournalEvery int // journal one metadata record every N metadata ops
+	MetaRecBytes     int
+	LSMFlushBytes    int // memtable flush threshold
+	LSMCompactEvery  int // compact after every N flushes
+	RespBytes        int
+}
+
+// DefaultConfig returns the deployment the figS experiment runs: a 2GB
+// dataset over a 64MB page cache, an 8MB block cache with a hot set that
+// fits inside it, an 8KB-record WAL, and LSM flush/compaction thresholds
+// that amplify the write path.
+func DefaultConfig(backend string) Config {
+	return Config{
+		Backend:          backend,
+		DatasetBytes:     2 << 30,
+		BlockBytes:       16 << 10,
+		ReadBlocks:       2,
+		WriteBytes:       8 << 10,
+		HotFrac:          0.7,
+		HotBlocks:        256,
+		WALBytes:         16 << 20,
+		BlockCacheMB:     8,
+		MetaBytes:        4 << 20,
+		MetaJournalEvery: 64,
+		MetaRecBytes:     4096,
+		LSMFlushBytes:    256 << 10,
+		LSMCompactEvery:  4,
+		RespBytes:        4096,
+	}
+}
+
+// Service is one DittoFS deployment: the adapter tier plus, for the blob
+// backend, the remote blob-store tier. It implements app.Registry so the
+// adapter can resolve the blob tier.
+type Service struct {
+	Adapter *app.Tier
+	Blob    *app.Tier // nil unless Backend == "blob"
+
+	cfg    Config
+	cache  *blockCache
+	wal    *wal
+	meta   *metaStore
+	store  ContentStore // nil for the blob backend
+	rng    *stats.Rand
+	seqCur int64 // sequential block cursor between reseeks
+	calls  []app.Call
+
+	blobM     *platform.Machine
+	blobPort  int
+	readCall  app.Call
+	writeCall app.Call
+}
+
+// NewService builds a DittoFS deployment on m. For the blob backend the
+// blob-store tier runs on blobM (which may be a different machine — that is
+// what makes its disk traffic remotely attributed) and listens on port+1;
+// other backends ignore blobM.
+func NewService(m, blobM *platform.Machine, port int, cfg Config, seed int64) *Service {
+	s := &Service{
+		cfg:   cfg,
+		cache: newBlockCache(int64(cfg.BlockCacheMB) << 20 / int64(cfg.BlockBytes)),
+		rng:   stats.NewRand(seed ^ 0xD177),
+	}
+	s.Adapter = app.NewTier(m, app.TierConfig{
+		Name: AdapterName, Port: port, Model: "epoll",
+		RespBytes: cfg.RespBytes, KindName: OpName, Seed: seed,
+	}, nil)
+	s.Adapter.Body = adapterBodyFor(s.Adapter.P.MemBase, seed)
+	s.Adapter.DynCalls = s.serve
+
+	s.wal = &wal{bytes: cfg.WALBytes, fds: map[*kernel.Thread]*kernel.FD{}}
+	s.meta = &metaStore{bytes: cfg.MetaBytes, every: cfg.MetaJournalEvery,
+		rec: cfg.MetaRecBytes}
+
+	switch cfg.Backend {
+	case "lsm":
+		s.store = newLSMStore(&cfg, seed)
+	case "blob":
+		if blobM == nil {
+			blobM = m
+		}
+		s.blobM, s.blobPort = blobM, port+1
+		s.Blob = newBlobTier(blobM, s.blobPort, &cfg, seed+101)
+		s.Adapter.Registry = s
+		s.readCall = app.Call{Target: BlobName, Prob: 1,
+			ReqBytes: 128, RespBytes: cfg.BlockBytes}
+		s.writeCall = app.Call{Target: BlobName, Prob: 1,
+			ReqBytes: cfg.WriteBytes + 128, RespBytes: 64}
+	default:
+		s.store = memStore{}
+	}
+	return s
+}
+
+// Lookup implements app.Registry for the adapter's blob edge.
+func (s *Service) Lookup(name string) (*kernel.Kernel, int) {
+	return s.blobM.Kernel, s.blobPort
+}
+
+// Start creates the on-disk state and launches the tiers.
+func (s *Service) Start() {
+	k := s.Adapter.M.Kernel
+	s.wal.file = k.CreateFile("/wal/dittofs.wal", s.cfg.WALBytes)
+	s.meta.file = k.CreateFile("/data/dittofs-meta.journal", s.cfg.MetaBytes)
+	if s.store != nil {
+		s.store.Create(k)
+	}
+	if s.Blob != nil {
+		s.Blob.Start()
+	}
+	s.Adapter.Start()
+}
+
+// serve performs the storage work of one request on the handler thread and
+// returns the downstream blob calls it needs (empty for local backends).
+// This is the adapter's DynCalls hook: the fan-out to the blob tier depends
+// on per-request block-cache state.
+func (s *Service) serve(th *kernel.Thread, kind int) []app.Call {
+	s.meta.access(th)
+	switch kind {
+	case OpRead:
+		s.calls = s.calls[:0]
+		for i := 0; i < s.cfg.ReadBlocks; i++ {
+			if s.cache.touch(s.pickBlock()) {
+				continue // block cache hit: no store traffic
+			}
+			if s.Blob != nil {
+				s.calls = append(s.calls, s.readCall)
+			} else {
+				s.store.ReadBlock(th)
+			}
+		}
+		return s.calls
+	case OpWrite:
+		// Commit path: WAL append + fsync makes the write durable before
+		// the content store (or remote blob) absorbs it.
+		s.wal.append(th, s.cfg.WriteBytes)
+		s.cache.touch(s.pickBlock()) // write-through: block is now cached
+		if s.Blob != nil {
+			s.calls = s.calls[:0]
+			s.calls = append(s.calls, s.writeCall)
+			return s.calls
+		}
+		s.store.WriteBlock(th, s.cfg.WriteBytes)
+	}
+	return nil
+}
+
+// pickBlock chooses the next logical block: mostly a hot set that fits the
+// block cache, otherwise a sequential scan cursor with occasional reseeks —
+// the locality mix that gives the cache a meaningful hit rate while keeping
+// cold misses flowing to the backend.
+func (s *Service) pickBlock() int64 {
+	blocks := s.cfg.DatasetBytes / int64(s.cfg.BlockBytes)
+	if s.rng.Float64() < s.cfg.HotFrac {
+		return s.rng.Int63n(s.cfg.HotBlocks)
+	}
+	if s.rng.Float64() < 0.1 {
+		s.seqCur = s.rng.Int63n(blocks)
+	}
+	s.seqCur = (s.seqCur + 1) % blocks
+	return s.seqCur
+}
+
+// BlockCacheStats reports app-level cache hits and misses.
+func (s *Service) BlockCacheStats() (hits, misses uint64) {
+	return s.cache.hits, s.cache.misses
+}
+
+// WALAppends reports committed WAL records (each one fsynced).
+func (s *Service) WALAppends() uint64 { return s.wal.appends }
+
+// Backend returns the configured content backend name.
+func (s *Service) Backend() string { return s.cfg.Backend }
+
+// ---- WAL ----
+
+// wal is the adapter's write-ahead log: a fixed-size file appended to with
+// an advancing cursor (wrapping like a recycled log) and fsynced on every
+// commit. Descriptors are cached per handler thread and die with it.
+type wal struct {
+	file    *kernel.File
+	bytes   int64
+	cur     int64
+	fds     map[*kernel.Thread]*kernel.FD
+	appends uint64
+}
+
+func (w *wal) append(th *kernel.Thread, bytes int) {
+	fd := w.fds[th]
+	if fd == nil {
+		fd = th.Open(w.file.Name)
+		w.fds[th] = fd
+	}
+	if w.cur+int64(bytes) > w.file.Size {
+		w.cur = 0
+	}
+	th.WriteFile(fd, bytes, w.cur)
+	w.cur += int64(bytes)
+	th.Fsync(fd)
+	w.appends++
+}
+
+// ---- metadata store ----
+
+// metaStore models the inode/dentry layer: pure in-memory lookups (their
+// CPU lives in the body phases) plus a journal record written — not fsynced
+// — every `every` metadata operations, the batched-journal pattern of
+// real metadata services.
+type metaStore struct {
+	file  *kernel.File
+	bytes int64
+	every int
+	rec   int
+	ops   int
+	cur   int64
+}
+
+func (ms *metaStore) access(th *kernel.Thread) {
+	ms.ops++
+	if ms.every <= 0 || ms.ops%ms.every != 0 {
+		return
+	}
+	fd := th.Open(ms.file.Name)
+	if ms.cur+int64(ms.rec) > ms.file.Size {
+		ms.cur = 0
+	}
+	th.WriteFile(fd, ms.rec, ms.cur)
+	ms.cur += int64(ms.rec)
+	th.CloseFD(fd)
+}
+
+// ---- block cache ----
+
+type blkNode struct {
+	block      int64
+	prev, next *blkNode
+}
+
+// blockCache is the adapter's application-level LRU over logical content
+// blocks. Contents are not modeled; residency decides whether a read pays
+// backend traffic. Nodes recycle through a free list so the steady state
+// allocates nothing.
+type blockCache struct {
+	cap          int64
+	m            map[int64]*blkNode
+	head, tail   *blkNode
+	free         *blkNode
+	hits, misses uint64
+}
+
+func newBlockCache(capacity int64) *blockCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &blockCache{cap: capacity, m: map[int64]*blkNode{}}
+}
+
+// touch reports whether block is cached, promoting it on a hit and
+// inserting it (evicting the LRU block at capacity) on a miss.
+func (c *blockCache) touch(block int64) bool {
+	if n, ok := c.m[block]; ok {
+		c.hits++
+		if c.head != n {
+			if n.prev != nil {
+				n.prev.next = n.next
+			}
+			if n.next != nil {
+				n.next.prev = n.prev
+			}
+			if c.tail == n {
+				c.tail = n.prev
+			}
+			n.prev, n.next = nil, c.head
+			c.head.prev = n
+			c.head = n
+		}
+		return true
+	}
+	c.misses++
+	n := c.free
+	if n != nil {
+		c.free = n.next
+		n.prev, n.next = nil, nil
+	} else {
+		n = &blkNode{}
+	}
+	n.block = block
+	c.m[block] = n
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+	if int64(len(c.m)) > c.cap {
+		evict := c.tail
+		c.tail = evict.prev
+		if c.tail != nil {
+			c.tail.next = nil
+		} else {
+			c.head = nil
+		}
+		delete(c.m, evict.block)
+		evict.prev = nil
+		evict.next = c.free
+		c.free = evict
+	}
+	return false
+}
+
+// ---- bodies ----
+
+// opBody emits a per-kind phase chain (unlike app.PhaseBody, the chains
+// differ per operation, not just in scale).
+type opBody struct {
+	chains map[int][]*app.Phase
+}
+
+func (b *opBody) EmitRequest(kind int, buf []isa.Instr) []isa.Instr {
+	for _, ph := range b.chains[kind] {
+		buf = ph.Emit(buf, 1)
+	}
+	return buf
+}
+
+// adapterBodyFor builds the adapter's CPU model: request decode, an
+// inode/dentry walk, a block-copy phase for reads, and a checksum-heavy
+// commit phase for writes.
+func adapterBodyFor(memBase uint64, seed int64) app.Body {
+	code := memBase
+	data := code + 1<<30
+	decode := app.NewPhase(app.PhaseSpec{
+		Name: "fs-decode", MeanInstrs: 900, JitterPct: 0.2, FootprintBytes: 24 << 10,
+		Weights:    app.ClassWeights{Load: 0.24, Store: 0.08, ALU: 0.56, SIMD: 0.06, CRC: 0.06},
+		BranchFrac: 0.15,
+		Branches:   []app.BranchMN{{M: 1, N: 1, Weight: 0.5}, {M: 2, N: 3, Weight: 0.5}},
+		WorkingSets: []app.WorkingSet{{Bytes: 32 << 10, Frac: 0.8},
+			{Bytes: 1 << 20, Frac: 0.2}},
+		RegularFrac: 0.5, DepChain: 2,
+	}, code, data, seed)
+	inode := app.NewPhase(app.PhaseSpec{
+		Name: "fs-inode-walk", MeanInstrs: 1600, JitterPct: 0.3, FootprintBytes: 36 << 10,
+		Weights:    app.ClassWeights{Load: 0.32, Store: 0.06, ALU: 0.5, Mul: 0.02, Lock: 0.04, SIMD: 0.06},
+		BranchFrac: 0.14,
+		Branches:   []app.BranchMN{{M: 1, N: 1, Weight: 0.4}, {M: 2, N: 4, Weight: 0.6}},
+		WorkingSets: []app.WorkingSet{{Bytes: 128 << 10, Frac: 0.5},
+			{Bytes: 16 << 20, Frac: 0.5}},
+		RegularFrac: 0.2, PointerFrac: 0.35, SharedFrac: 0.05, DepChain: 2,
+	}, code+1<<20, data+1<<28, seed+1)
+	blkcopy := app.NewPhase(app.PhaseSpec{
+		Name: "fs-block-copy", MeanInstrs: 700, JitterPct: 0.1, FootprintBytes: 12 << 10,
+		Weights:     app.ClassWeights{Load: 0.2, Store: 0.18, ALU: 0.44, SIMD: 0.06, Rep: 0.12},
+		BranchFrac:  0.08,
+		WorkingSets: []app.WorkingSet{{Bytes: 256 << 10, Frac: 1}},
+		RegularFrac: 0.85, DepChain: 2, RepBytes: 16 << 10,
+	}, code+2<<20, data+2<<28, seed+2)
+	commit := app.NewPhase(app.PhaseSpec{
+		Name: "fs-commit", MeanInstrs: 1200, JitterPct: 0.15, FootprintBytes: 18 << 10,
+		Weights:     app.ClassWeights{Load: 0.2, Store: 0.14, ALU: 0.42, CRC: 0.14, Rep: 0.1},
+		BranchFrac:  0.1,
+		Branches:    []app.BranchMN{{M: 1, N: 2, Weight: 1}},
+		WorkingSets: []app.WorkingSet{{Bytes: 64 << 10, Frac: 1}},
+		RegularFrac: 0.7, DepChain: 2, RepBytes: 8 << 10,
+	}, code+3<<20, data+3<<28, seed+3)
+	return &opBody{chains: map[int][]*app.Phase{
+		OpGetattr: {decode, inode},
+		OpLookup:  {decode, inode},
+		OpRead:    {decode, inode, blkcopy},
+		OpWrite:   {decode, commit},
+	}}
+}

@@ -1,0 +1,181 @@
+package dittofs
+
+import (
+	"ditto/internal/app"
+	"ditto/internal/kernel"
+	"ditto/internal/platform"
+	"ditto/internal/stats"
+)
+
+// ContentStore is the pluggable content backend behind the adapter's block
+// cache. Implementations run on the adapter's handler thread, so their
+// syscalls are charged to — and profiled as — the adapter tier.
+type ContentStore interface {
+	Name() string
+	// Create registers the store's on-disk state on the adapter's kernel.
+	Create(k *kernel.Kernel)
+	// ReadBlock fetches one block that missed the block cache.
+	ReadBlock(th *kernel.Thread)
+	// WriteBlock absorbs one committed write.
+	WriteBlock(th *kernel.Thread, bytes int)
+}
+
+// memStore keeps all content in memory: the block copy CPU lives in the
+// body phases and the backend produces no disk traffic at all — the only
+// device writes of the mem deployment come from the WAL and the metadata
+// journal.
+type memStore struct{}
+
+func (memStore) Name() string                   { return "mem" }
+func (memStore) Create(*kernel.Kernel)          {}
+func (memStore) ReadBlock(*kernel.Thread)       {}
+func (memStore) WriteBlock(*kernel.Thread, int) {}
+
+// lsmStore is an LSM-tree-shaped on-disk backend. Reads hit arbitrary
+// level offsets (uniform over the dataset, as a leveled tree with no
+// locality does). Writes buffer in a memtable; at the flush threshold the
+// memtable is written sequentially and fsynced, and every CompactEvery-th
+// flush triggers a compaction — re-reading several flushes' worth of data
+// and rewriting it — which is where the backend's write amplification
+// comes from. All of it runs on the handler thread: a flush stalls the
+// request that triggered it, exactly like a writer caught by a full
+// memtable.
+type lsmStore struct {
+	dataset    int64
+	blockBytes int
+	flushBytes int
+	compactN   int
+
+	file     *kernel.File
+	rng      *stats.Rand
+	memtable int
+	flushes  uint64
+	compacts uint64
+	cur      int64 // sequential level-file append cursor
+}
+
+func newLSMStore(cfg *Config, seed int64) *lsmStore {
+	return &lsmStore{
+		dataset:    cfg.DatasetBytes,
+		blockBytes: cfg.BlockBytes,
+		flushBytes: cfg.LSMFlushBytes,
+		compactN:   cfg.LSMCompactEvery,
+		rng:        stats.NewRand(seed ^ 0x15A3),
+	}
+}
+
+func (s *lsmStore) Name() string { return "lsm" }
+
+func (s *lsmStore) Create(k *kernel.Kernel) {
+	s.file = k.CreateFile("/data/dittofs-lsm.sst", s.dataset)
+}
+
+func (s *lsmStore) ReadBlock(th *kernel.Thread) {
+	maxOff := (s.dataset - int64(s.blockBytes)) / kernel.PageBytes
+	off := s.rng.Int63n(maxOff) * kernel.PageBytes
+	fd := th.Open(s.file.Name)
+	th.Pread(fd, s.blockBytes, off)
+	th.CloseFD(fd)
+}
+
+func (s *lsmStore) WriteBlock(th *kernel.Thread, bytes int) {
+	s.memtable += bytes
+	if s.memtable < s.flushBytes {
+		return
+	}
+	flush := s.memtable
+	s.memtable = 0
+	fd := th.Open(s.file.Name)
+	if s.cur+int64(flush) > s.file.Size {
+		s.cur = 0
+	}
+	th.WriteFile(fd, flush, s.cur)
+	s.cur += int64(flush)
+	th.Fsync(fd)
+	s.flushes++
+	if s.compactN > 0 && s.flushes%uint64(s.compactN) == 0 {
+		// Compaction: read back compactN flushes' worth from a lower level
+		// and rewrite it merged — then make the new level durable.
+		span := flush * s.compactN
+		maxOff := (s.dataset - int64(span)) / kernel.PageBytes
+		th.Pread(fd, span, s.rng.Int63n(maxOff)*kernel.PageBytes)
+		if s.cur+int64(span) > s.file.Size {
+			s.cur = 0
+		}
+		th.WriteFile(fd, span, s.cur)
+		s.cur += int64(span)
+		th.Fsync(fd)
+		s.compacts++
+	}
+	th.CloseFD(fd)
+}
+
+// newBlobTier builds the remote blob-store tier of the blob backend: an
+// event-loop server whose GETs pread uniformly-random objects from its
+// object file and whose PUTs append and fsync — a durable object store.
+// It runs on its own machine, so dtrace attributes its disk traffic to the
+// blob tier, not the adapter.
+func newBlobTier(m *platform.Machine, port int, cfg *Config, seed int64) *app.Tier {
+	t := app.NewTier(m, app.TierConfig{
+		Name: BlobName, Port: port, Model: "epoll",
+		RespBytes: cfg.BlockBytes, KindName: OpName, Seed: seed,
+	}, nil)
+	t.Body = blobBody(t.P.MemBase, seed)
+
+	dataset := cfg.DatasetBytes
+	blockBytes := cfg.BlockBytes
+	writeBytes := cfg.WriteBytes
+	rng := stats.NewRand(seed ^ 0xB10B)
+	var file *kernel.File
+	var cur int64
+	t.PostWork = func(th *kernel.Thread, kind int) {
+		if file == nil {
+			file = m.Kernel.CreateFile("/data/dittofs-blob.obj", dataset)
+		}
+		switch kind {
+		case OpRead:
+			maxOff := (dataset - int64(blockBytes)) / kernel.PageBytes
+			fd := th.Open(file.Name)
+			th.Pread(fd, blockBytes, rng.Int63n(maxOff)*kernel.PageBytes)
+			th.CloseFD(fd)
+		case OpWrite:
+			fd := th.Open(file.Name)
+			if cur+int64(writeBytes) > file.Size {
+				cur = 0
+			}
+			th.WriteFile(fd, writeBytes, cur)
+			cur += int64(writeBytes)
+			th.Fsync(fd)
+			th.CloseFD(fd)
+		}
+	}
+	return t
+}
+
+// blobBody is the blob tier's CPU model: request decode plus an object
+// copy.
+func blobBody(memBase uint64, seed int64) app.Body {
+	code := memBase
+	data := code + 1<<30
+	decode := app.NewPhase(app.PhaseSpec{
+		Name: "blob-decode", MeanInstrs: 600, JitterPct: 0.2, FootprintBytes: 16 << 10,
+		Weights:     app.ClassWeights{Load: 0.24, Store: 0.08, ALU: 0.58, SIMD: 0.05, CRC: 0.05},
+		BranchFrac:  0.13,
+		Branches:    []app.BranchMN{{M: 1, N: 1, Weight: 0.6}, {M: 2, N: 3, Weight: 0.4}},
+		WorkingSets: []app.WorkingSet{{Bytes: 24 << 10, Frac: 1}},
+		RegularFrac: 0.55, DepChain: 2,
+	}, code, data, seed)
+	objcopy := app.NewPhase(app.PhaseSpec{
+		Name: "blob-copy", MeanInstrs: 500, JitterPct: 0.1, FootprintBytes: 10 << 10,
+		Weights:     app.ClassWeights{Load: 0.2, Store: 0.2, ALU: 0.42, SIMD: 0.04, Rep: 0.14},
+		BranchFrac:  0.07,
+		WorkingSets: []app.WorkingSet{{Bytes: 128 << 10, Frac: 1}},
+		RegularFrac: 0.9, DepChain: 2, RepBytes: 16 << 10,
+	}, code+1<<20, data+1<<28, seed+1)
+	return &opBody{chains: map[int][]*app.Phase{
+		OpGetattr: {decode},
+		OpLookup:  {decode},
+		OpRead:    {decode, objcopy},
+		OpWrite:   {decode, objcopy},
+	}}
+}

@@ -52,7 +52,10 @@ type TierConfig struct {
 	Model     string // "epoll" (single event loop) or "pool" (thread per conn)
 	RespBytes int
 	Calls     map[int][]Call // downstream edges per request kind
-	Seed      int64
+	// KindName, when set, labels span operations for this tier's request
+	// kinds; nil falls back to the Social Network names.
+	KindName func(kind int) string
+	Seed     int64
 	// Resilience, when non-nil, turns on the resilient RPC path (timeouts,
 	// retries, hedging, circuit breaking, load shedding). Nil keeps the
 	// legacy blocking path byte-identical to the pre-fault simulator.
@@ -72,6 +75,11 @@ type Tier struct {
 	// PostWork, when set, performs tier-specific syscalls per request
 	// (e.g. a storage tier's pread) after the body runs.
 	PostWork func(th *kernel.Thread, kind int)
+	// DynCalls, when set, computes this request's downstream edges instead
+	// of the static Cfg.Calls table — for tiers whose fan-out depends on
+	// per-request state (a storage adapter calling its blob tier only on
+	// block-cache misses). It runs after Body and PostWork.
+	DynCalls func(th *kernel.Thread, kind int) []Call
 
 	rng      *stats.Rand
 	conns    map[*kernel.Thread]map[string]*kernel.Endpoint
@@ -109,6 +117,12 @@ func (t *Tier) Start() {
 	if t.Collector != nil && t.arm == nil {
 		t.arm = t.Collector.Arm(uint64(t.M.Index) + 1)
 	}
+	// Bodies are often installed after NewTier (they need the tier's process
+	// MemBase); build their stream cache here so a post-construction Body is
+	// not silently skipped.
+	if t.streams == nil && t.Body != nil {
+		t.streams = NewStreamCache(t.Body)
+	}
 	switch t.Cfg.Model {
 	case "pool":
 		t.P.Spawn("acceptor", func(th *kernel.Thread) {
@@ -144,11 +158,16 @@ func (t *Tier) ctxOf(msg kernel.Msg) *RPCCtx {
 func (t *Tier) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.Msg) {
 	ctx := t.ctxOf(msg)
 	r := t.Cfg.Resilience
+	diskStart := th.Proc.DiskReadBytes + th.Proc.DiskWritten
 	var span dtrace.Span
 	if t.arm != nil && ctx.Trace != 0 {
+		op := kindName(ctx.Kind)
+		if t.Cfg.KindName != nil {
+			op = t.Cfg.KindName(ctx.Kind)
+		}
 		span = dtrace.Span{Trace: ctx.Trace, ID: t.arm.NextSpanID(),
 			Parent: ctx.Parent, Service: t.Cfg.Name,
-			Operation: kindName(ctx.Kind), Start: th.Now(),
+			Operation: op, Start: th.Now(),
 			ReqBytes: msg.Bytes, RespBytes: t.Cfg.RespBytes,
 			Attempt: ctx.Attempt, Hedged: ctx.Hedged}
 	}
@@ -170,28 +189,47 @@ func (t *Tier) handle(th *kernel.Thread, conn *kernel.Endpoint, msg kernel.Msg) 
 	if t.PostWork != nil {
 		t.PostWork(th, ctx.Kind)
 	}
-	for _, call := range t.Cfg.Calls[ctx.Kind] {
-		if call.Prob < 1 && t.rng.Float64() >= call.Prob {
-			continue
-		}
-		if r == nil {
-			down := t.connTo(th, call.Target)
-			child := &RPCCtx{Req: ctx.Req, Kind: ctx.Kind, Trace: ctx.Trace, Parent: span.ID}
-			reqB := call.ReqBytes
-			if reqB <= 0 {
-				reqB = 256
+	calls := t.Cfg.Calls[ctx.Kind]
+	if t.DynCalls != nil {
+		calls = t.DynCalls(th, ctx.Kind)
+	}
+	for _, call := range calls {
+		// Prob ≤ 1 is a Bernoulli edge (Prob == 1 draws nothing, preserving
+		// legacy rng streams); Prob > 1 replays a learned multi-call edge —
+		// int(Prob) guaranteed calls plus a Bernoulli on the fraction.
+		n := 1
+		switch {
+		case call.Prob < 1:
+			if t.rng.Float64() >= call.Prob {
+				continue
 			}
-			th.Send(down, reqB, child)
-			th.Recv(down)
-			continue
+		case call.Prob > 1:
+			n = int(call.Prob)
+			if frac := call.Prob - float64(n); frac > 0 && t.rng.Float64() < frac {
+				n++
+			}
 		}
-		if !t.callResilient(th, call, ctx, &span) {
-			span.DownErrors++
-			t.fail(ctx, &span)
+		for ; n > 0; n-- {
+			if r == nil {
+				down := t.connTo(th, call.Target)
+				child := &RPCCtx{Req: ctx.Req, Kind: ctx.Kind, Trace: ctx.Trace, Parent: span.ID}
+				reqB := call.ReqBytes
+				if reqB <= 0 {
+					reqB = 256
+				}
+				th.Send(down, reqB, child)
+				th.Recv(down)
+				continue
+			}
+			if !t.callResilient(th, call, ctx, &span) {
+				span.DownErrors++
+				t.fail(ctx, &span)
+			}
 		}
 	}
 	if span.ID != 0 {
 		span.End = th.Now()
+		span.DiskBytes = th.Proc.DiskReadBytes + th.Proc.DiskWritten - diskStart
 		t.arm.Record(span)
 	}
 	t.finish(ctx)

@@ -131,7 +131,8 @@ func GenerateAdjusted(prof *profile.AppProfile, adj Adjust, seed int64) *SynthSp
 func planSyscalls(prof *profile.AppProfile) []SyscallPlan {
 	replayable := map[kernel.SyscallOp]bool{
 		kernel.SysOpen: true, kernel.SysClose: true, kernel.SysPread: true,
-		kernel.SysWrite: true, kernel.SysMmap: true, kernel.SysNanosleep: false,
+		kernel.SysWrite: true, kernel.SysFsync: true, kernel.SysMmap: true,
+		kernel.SysNanosleep: false,
 	}
 	var out []SyscallPlan
 	for _, st := range prof.Syscalls {
@@ -143,9 +144,11 @@ func planSyscalls(prof *profile.AppProfile) []SyscallPlan {
 			FileSize: st.FileSize, UniformOffsets: st.UniformOffsets,
 		})
 	}
-	// Keep a canonical open → read/write → close order.
+	// Keep a canonical open → read/write → fsync → close order, so the
+	// replayed commit path syncs what it just wrote.
 	order := map[kernel.SyscallOp]int{kernel.SysOpen: 0, kernel.SysMmap: 1,
-		kernel.SysPread: 2, kernel.SysWrite: 3, kernel.SysClose: 4}
+		kernel.SysPread: 2, kernel.SysWrite: 3, kernel.SysFsync: 4,
+		kernel.SysClose: 5}
 	sort.SliceStable(out, func(i, j int) bool { return order[out[i].Op] < order[out[j].Op] })
 	return out
 }

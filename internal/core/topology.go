@@ -18,7 +18,9 @@ type TierPlan struct {
 	Root      bool
 }
 
-// kindOfOp maps span operation names back to request kinds.
+// kindOfOp maps span operation names back to request kinds. The fs-* names
+// are the DittoFS operations (see app/dittofs); both families number their
+// kinds from zero, and a deployment traces only one family at a time.
 func kindOfOp(op string) int {
 	switch op {
 	case "compose-post":
@@ -27,6 +29,14 @@ func kindOfOp(op string) int {
 		return app.KindReadHomeTimeline
 	case "read-user-timeline":
 		return app.KindReadUserTimeline
+	case "fs-getattr":
+		return 0
+	case "fs-lookup":
+		return 1
+	case "fs-read":
+		return 2
+	case "fs-write":
+		return 3
 	}
 	return 0
 }
@@ -109,10 +119,11 @@ func LearnTopology(spans []dtrace.Span) map[string]*TierPlan {
 		if pInv == 0 {
 			continue
 		}
+		// Probabilities above 1 are real: a parent that fans out to the same
+		// child more than once per invocation (a multi-block read hitting a
+		// blob store) is replayed as int(prob) calls plus a Bernoulli on the
+		// fraction — see app.Tier's call loop.
 		prob := float64(e.calls) / float64(pInv)
-		if prob > 1 {
-			prob = 1
-		}
 		plan := get(k.parent)
 		plan.Calls[k.kind] = append(plan.Calls[k.kind], app.Call{
 			Target:    k.child,

@@ -24,6 +24,10 @@ type Span struct {
 	// Message-size tags, as production tracing commonly records.
 	ReqBytes  int
 	RespBytes int
+	// DiskBytes is the device traffic (reads + writes) this invocation
+	// charged to its process — how storage-tier disk contention is
+	// attributed per tier when profiling a write-heavy service.
+	DiskBytes uint64
 	// Resilience tags. On a server-side span, Attempt and Hedged identify
 	// which delivery of the request this invocation served; on a client
 	// (parent) span, Retries/DownErrors/BreakerOpen summarize how its

@@ -27,6 +27,7 @@ const (
 	SysFutex
 	SysNanosleep
 	SysMmap
+	SysFsync
 	opCtxSwitch // internal: scheduler context-switch path
 	NumSyscalls = int(opCtxSwitch)
 )
@@ -34,7 +35,7 @@ const (
 var sysNames = [...]string{
 	"open", "close", "pread", "write", "socket", "connect", "accept",
 	"listen", "send", "recv", "epoll_wait", "epoll_ctl", "clone", "futex",
-	"nanosleep", "mmap", "ctxswitch",
+	"nanosleep", "mmap", "fsync", "ctxswitch",
 }
 
 // String returns the syscall name.

@@ -1,10 +1,24 @@
 package kernel
 
+import (
+	"sort"
+
+	"ditto/internal/stats"
+)
+
 // Filesystem and page cache. Reads consult an LRU page cache sized by
 // Resources.PageCachePages; contiguous missing pages are batched into one
 // disk request, so sequential scans cost one seek while random reads on a
 // dataset larger than the cache pay per-access device latency — the
 // MongoDB-vs-Memcached asymmetry in the paper's evaluation.
+//
+// Writes are write-back with real durability semantics: WriteFile only
+// dirties pages in the cache (charging the syscall), the device sees those
+// pages when a dirty page is evicted (forced writeback) or when Fsync
+// flushes the file — and Fsync blocks until every outstanding writeback for
+// the file has drained to the disk. A process killed before fsync loses its
+// un-fsynced dirty pages: they are dropped without ever reaching the
+// device, which is exactly the crash-durability contract a WAL relies on.
 
 // PageBytes is the page size used by the page cache.
 const PageBytes = 4096
@@ -15,19 +29,43 @@ type File struct {
 	Size int64
 	id   uint64
 	tag  string // "file:"+Name, precomputed for the syscall event log
+
+	// Dirty-page index: page number → the process that last dirtied it.
+	// Dirty pages are always resident (eviction removes them here too), so
+	// fsync and crash handling are O(dirty), not O(cache).
+	dirty    map[int64]*Proc
+	inflight int       // writebacks issued but not yet on stable storage
+	waiters  []*Thread // threads blocked in Fsync on inflight == 0
+	flushFn  func()    // reusable writeback-completion closure
+	k        *Kernel
 }
 
 // CreateFile registers a file of the given size on the kernel (dataset
-// setup; contents are not modeled, only geometry).
+// setup; contents are not modeled, only geometry and durability state).
 func (k *Kernel) CreateFile(name string, size int64) *File {
 	k.nextFS++
-	f := &File{Name: name, Size: size, id: k.nextFS, tag: "file:" + name}
+	f := &File{Name: name, Size: size, id: k.nextFS, tag: "file:" + name,
+		dirty: map[int64]*Proc{}, k: k}
+	f.flushFn = func() {
+		f.inflight--
+		if f.inflight == 0 && len(f.waiters) > 0 {
+			ws := f.waiters
+			f.waiters = f.waiters[:0]
+			for _, w := range ws {
+				f.k.wake(w, "disk")
+			}
+		}
+	}
 	k.files[name] = f
+	k.filesByID[f.id] = f
 	return f
 }
 
 // LookupFile returns a previously created file, or nil.
 func (k *Kernel) LookupFile(name string) *File { return k.files[name] }
+
+// DirtyPages reports the number of un-fsynced dirty pages of f.
+func (f *File) DirtyPages() int { return len(f.dirty) }
 
 // FD is an open file descriptor.
 type FD struct {
@@ -78,11 +116,13 @@ func (t *Thread) Pread(fd *FD, bytes int, offset int64) {
 	missing := 0
 	for p := first; p <= last; p++ {
 		if k.pages.touch(pageKey{file: fd.File.id, page: p}) {
+			k.pageHits++
 			if missing > 0 {
 				runs = append(runs, missing)
 				missing = 0
 			}
 		} else {
+			k.pageMisses++
 			missing++
 		}
 	}
@@ -112,23 +152,114 @@ func (t *Thread) Pread(fd *FD, bytes int, offset int64) {
 	}
 }
 
-// WriteFile writes bytes at offset: pages enter the cache and the disk
-// write completes asynchronously (write-back), so the caller only pays the
-// syscall cost.
+// WriteFile writes bytes at offset: the touched pages enter the cache
+// dirty and the caller only pays the syscall cost. The data reaches the
+// device when a dirty page is evicted (forced writeback) or when Fsync
+// flushes the file; until then a crash of the writing process loses it.
 func (t *Thread) WriteFile(fd *FD, bytes int, offset int64) {
 	t.syscallEnterOff(SysWrite, bytes, offset, fd.File.tag)
 	if bytes <= 0 {
 		return
 	}
 	k := t.k
+	f := fd.File
 	first := offset / PageBytes
 	last := (offset + int64(bytes) - 1) / PageBytes
 	for p := first; p <= last; p++ {
-		k.pages.insert(pageKey{file: fd.File.id, page: p})
+		f.dirty[p] = t.Proc
+		k.pages.insertDirty(pageKey{file: f.id, page: p})
 	}
 	t.Proc.DiskWritten += uint64(bytes)
-	if k.res.Disk != nil {
-		k.res.Disk.Write(bytes, nil)
+}
+
+// Fsync flushes every dirty page of the descriptor's file to the disk and
+// blocks until those writes — and any writebacks already in flight from
+// dirty-page eviction — have drained. This is the durability point: pages
+// flushed here survive a later KillProc of the writer.
+func (t *Thread) Fsync(fd *FD) {
+	f := fd.File
+	t.syscallEnter(SysFsync, 0, f.tag)
+	k := t.k
+	start := k.eng.Now()
+	k.flushFile(f)
+	for f.inflight > 0 {
+		f.waiters = append(f.waiters, t)
+		t.park()
+	}
+	k.fsyncs++
+	k.fsyncLat.Add((k.eng.Now() - start).Millis())
+}
+
+// flushFile issues disk writes for every dirty page of f, coalescing
+// contiguous pages into single device requests (the elevator pass of a real
+// flusher). Pages are marked clean immediately: the write is in flight and
+// owned by the device, so a subsequent crash no longer loses it here.
+func (k *Kernel) flushFile(f *File) {
+	if len(f.dirty) == 0 {
+		return
+	}
+	pages := k.flushBuf[:0]
+	// ditto:determinism-ok reviewed: keys are collected then sorted below;
+	// the flush order is independent of map iteration order.
+	for p := range f.dirty {
+		pages = append(pages, p)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	k.flushBuf = pages
+	for _, p := range pages {
+		delete(f.dirty, p)
+		k.pages.setClean(pageKey{file: f.id, page: p})
+	}
+	if k.res.Disk == nil {
+		return
+	}
+	run := 1
+	for i := 1; i <= len(pages); i++ {
+		if i < len(pages) && pages[i] == pages[i-1]+1 {
+			run++
+			continue
+		}
+		f.inflight++
+		k.res.Disk.Write(run*PageBytes, f.flushFn)
+		run = 1
+	}
+}
+
+// pageEvicted is the page cache's eviction hook: evicting a dirty page
+// forces its writeback — the data cannot be dropped, so the device pays for
+// the write now and Fsync waits for it via the file's inflight count.
+func (k *Kernel) pageEvicted(key pageKey, dirty bool) {
+	if !dirty {
+		return
+	}
+	f := k.filesByID[key.file]
+	if f == nil {
+		return
+	}
+	delete(f.dirty, key.page)
+	if k.res.Disk == nil {
+		return
+	}
+	f.inflight++
+	k.res.Disk.Write(PageBytes, f.flushFn)
+}
+
+// dropDirty discards every un-fsynced dirty page last written by p — the
+// crash half of the durability contract: data that never reached Fsync dies
+// with its process and must not appear on the device afterwards. Pages stay
+// resident but clean (contents are not modeled, only durability).
+func (k *Kernel) dropDirty(p *Proc) {
+	// ditto:determinism-ok reviewed: files are independent; the surviving
+	// dirty set is the same whatever order the map yields.
+	for _, f := range k.files {
+		// ditto:determinism-ok reviewed: filtered delete-during-range; each
+		// entry is judged independently by its owner.
+		for page, owner := range f.dirty {
+			if owner == p {
+				delete(f.dirty, page)
+				k.pages.setClean(pageKey{file: f.id, page: page})
+			}
+		}
 	}
 }
 
@@ -143,6 +274,18 @@ func (k *Kernel) WarmPages(f *File, startPage, n int64) {
 // PageCacheResident reports the number of resident pages.
 func (k *Kernel) PageCacheResident() int { return len(k.pages.m) }
 
+// PageCacheStats reports cumulative read hits and misses (Pread touches).
+func (k *Kernel) PageCacheStats() (hits, misses uint64) {
+	return k.pageHits, k.pageMisses
+}
+
+// Fsyncs reports the number of completed fsync syscalls.
+func (k *Kernel) Fsyncs() uint64 { return k.fsyncs }
+
+// FsyncLatency returns the recorder of fsync wall times in milliseconds
+// (reset it at a measurement-window edge to scope the percentiles).
+func (k *Kernel) FsyncLatency() *stats.Recorder { return &k.fsyncLat }
+
 // ---- page LRU ----
 
 type pageKey struct {
@@ -152,18 +295,21 @@ type pageKey struct {
 
 type pageNode struct {
 	key        pageKey
+	dirty      bool
 	prev, next *pageNode
 }
 
 // pageLRU is a capacity-bounded LRU set of pages. Evicted nodes go on a
 // free list: once the cache reaches capacity, insert/evict churn recycles
-// nodes instead of allocating.
+// nodes instead of allocating. Nodes carry a dirty bit; evicting a dirty
+// node reports it through onEvict so the kernel can force the writeback.
 type pageLRU struct {
-	cap  int
-	m    map[pageKey]*pageNode
-	head *pageNode // most recently used
-	tail *pageNode // least recently used
-	free *pageNode // recycled nodes, chained via next
+	cap     int
+	m       map[pageKey]*pageNode
+	head    *pageNode // most recently used
+	tail    *pageNode // least recently used
+	free    *pageNode // recycled nodes, chained via next
+	onEvict func(key pageKey, dirty bool)
 }
 
 func newPageLRU(capacity int) *pageLRU {
@@ -181,9 +327,16 @@ func (l *pageLRU) touch(key pageKey) bool {
 	return true
 }
 
-// insert adds key as MRU, evicting the LRU entry at capacity.
-func (l *pageLRU) insert(key pageKey) {
+// insert adds key as MRU (clean), evicting the LRU entry at capacity.
+func (l *pageLRU) insert(key pageKey) { l.insertState(key, false) }
+
+// insertDirty adds key as MRU and marks it dirty — a buffered write that
+// has not reached the disk yet.
+func (l *pageLRU) insertDirty(key pageKey) { l.insertState(key, true) }
+
+func (l *pageLRU) insertState(key pageKey, dirty bool) {
 	if n, ok := l.m[key]; ok {
+		n.dirty = n.dirty || dirty
 		l.moveToFront(n)
 		return
 	}
@@ -195,6 +348,7 @@ func (l *pageLRU) insert(key pageKey) {
 	} else {
 		n = &pageNode{key: key}
 	}
+	n.dirty = dirty
 	l.m[key] = n
 	n.next = l.head
 	if l.head != nil {
@@ -213,9 +367,21 @@ func (l *pageLRU) insert(key pageKey) {
 			l.head = nil
 		}
 		delete(l.m, evict.key)
+		ek, ed := evict.key, evict.dirty
+		evict.dirty = false
 		evict.prev = nil
 		evict.next = l.free
 		l.free = evict
+		if l.onEvict != nil {
+			l.onEvict(ek, ed)
+		}
+	}
+}
+
+// setClean clears key's dirty bit, if resident (flush or crash-drop).
+func (l *pageLRU) setClean(key pageKey) {
+	if n, ok := l.m[key]; ok {
+		n.dirty = false
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"ditto/internal/isa"
 	"ditto/internal/netsim"
 	"ditto/internal/sim"
+	"ditto/internal/stats"
 )
 
 // Resources is the hardware a kernel manages, assembled by the platform.
@@ -59,9 +60,18 @@ type Kernel struct {
 	procSeq  uint64
 
 	// Filesystem.
-	files  map[string]*File
-	nextFS uint64
-	pages  *pageLRU
+	files     map[string]*File
+	filesByID map[uint64]*File
+	nextFS    uint64
+	pages     *pageLRU
+	flushBuf  []int64 // reusable dirty-page collection buffer (flushFile)
+
+	// Storage observability: page-cache read hits/misses and fsync wall
+	// times — the dimensions the storage experiments compare clones on.
+	pageHits   uint64
+	pageMisses uint64
+	fsyncs     uint64
+	fsyncLat   stats.Recorder
 
 	// Network.
 	fabric    Fabric
@@ -101,11 +111,13 @@ func New(eng *sim.Engine, name string, res Resources) *Kernel {
 		// exactly one goroutine runs at a time, so no order is ever racy.
 		parkCh:     make(chan struct{}),
 		files:      map[string]*File{},
+		filesByID:  map[uint64]*File{},
 		pages:      newPageLRU(res.PageCachePages),
 		listeners:  map[int]*Listener{},
 		coreThread: make([]*Thread, len(res.Cores)),
 		ksg:        kstreamGen{rng: 0x853C49E6748FEA9B},
 	}
+	k.pages.onEvict = k.pageEvicted
 	for i := range res.Cores {
 		k.idleCores = append(k.idleCores, i)
 	}
@@ -335,6 +347,10 @@ func (k *Kernel) KillProc(p *Proc) {
 			k.wake(t, "kill")
 		}
 	}
+	// Un-fsynced writes die with the process: dirty pages it authored are
+	// dropped without ever reaching the device. Writes it already fsynced
+	// (or whose writeback eviction forced) are on stable storage and stay.
+	k.dropDirty(p)
 }
 
 // Stop terminates all simulated threads. Call it after the measurement

@@ -45,6 +45,7 @@ var sysProfiles = [NumSyscalls + 1]sysProfile{
 	SysFutex:     {instrs: 600, footprint: 8 << 10, dataWS: 16 << 10},
 	SysNanosleep: {instrs: 700, footprint: 12 << 10, dataWS: 16 << 10},
 	SysMmap:      {instrs: 1200, footprint: 20 << 10, dataWS: 64 << 10},
+	SysFsync:     {instrs: 1100, footprint: 20 << 10, dataWS: 64 << 10},
 	opCtxSwitch:  {instrs: 2500, footprint: 32 << 10, dataWS: 128 << 10},
 }
 

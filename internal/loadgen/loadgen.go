@@ -20,6 +20,19 @@ type MixEntry struct {
 	ReqBytes int
 }
 
+// FSMix is the NFS-style operation mix for the DittoFS storage family:
+// metadata-dominated (getattr + lookup), a solid read share, and enough
+// writes to keep the WAL commit path hot. Kinds number the dittofs ops
+// (getattr, lookup, read, write — asserted against app/dittofs by test).
+func FSMix() []MixEntry {
+	return []MixEntry{
+		{Kind: 0, Weight: 0.30, ReqBytes: 96},
+		{Kind: 1, Weight: 0.25, ReqBytes: 128},
+		{Kind: 2, Weight: 0.30, ReqBytes: 160},
+		{Kind: 3, Weight: 0.15, ReqBytes: 8<<10 + 160}, // write carries its payload
+	}
+}
+
 // Config shapes one load generator.
 type Config struct {
 	Name    string

@@ -1,0 +1,117 @@
+package synth
+
+import (
+	"ditto/internal/core"
+	"ditto/internal/kernel"
+	"ditto/internal/stats"
+)
+
+// sysReplayer replays a generated syscall plan at its profiled per-request
+// rates, carrying fractional rates across requests deterministically. The
+// standalone Server and synthetic tiers share it: this is the §4.4
+// machinery that reproduces kernel, page-cache, and device behaviour by
+// imitating the system calls themselves — including the fsync commit path,
+// whose durability wait is what gives a cloned storage tier the original's
+// disk contention.
+type sysReplayer struct {
+	plans []core.SyscallPlan
+	file  *kernel.File
+	rng   *stats.Rand
+	acc   []float64 // fractional per-request carry, one per plan entry
+	wcur  int64     // WAL-style append cursor for replayed writes
+}
+
+// newSysReplayer builds a replayer over a shared synthetic file (nil when
+// the plan has no file syscalls) and a shared offset stream.
+func newSysReplayer(plans []core.SyscallPlan, file *kernel.File, rng *stats.Rand) *sysReplayer {
+	return &sysReplayer{plans: plans, file: file, rng: rng,
+		acc: make([]float64, len(plans))}
+}
+
+// maxPlanFile returns the largest file size any plan entry touches — the
+// size of the synthetic dataset the replayer needs.
+func maxPlanFile(plans []core.SyscallPlan) int64 {
+	var max int64
+	for _, p := range plans {
+		if p.FileSize > max {
+			max = p.FileSize
+		}
+	}
+	return max
+}
+
+// replay issues one request's worth of planned syscalls on th.
+func (r *sysReplayer) replay(th *kernel.Thread) {
+	var fd *kernel.FD
+	for i := range r.plans {
+		p := &r.plans[i]
+		r.acc[i] += p.PerRequest
+		n := int(r.acc[i])
+		r.acc[i] -= float64(n)
+		for ; n > 0; n-- {
+			switch p.Op {
+			case kernel.SysOpen:
+				if r.file != nil {
+					fd = th.Open(r.file.Name)
+				}
+			case kernel.SysPread:
+				if r.file == nil {
+					continue
+				}
+				f := fd
+				if f == nil {
+					f = th.Open(r.file.Name)
+				}
+				off := int64(0)
+				if p.UniformOffsets && p.FileSize > int64(p.Bytes) {
+					off = r.rng.Int63n((p.FileSize-int64(p.Bytes))/kernel.PageBytes) * kernel.PageBytes
+				}
+				th.Pread(f, p.Bytes, off)
+				if fd == nil {
+					th.CloseFD(f)
+				}
+			case kernel.SysWrite:
+				if r.file == nil {
+					continue
+				}
+				f := fd
+				if f == nil {
+					f = th.Open(r.file.Name)
+				}
+				// Advancing append cursor, wrapping at the file size: the
+				// dirty-page footprint between fsyncs then matches a log
+				// writer's, which is what the profiled rates came from.
+				if r.wcur+int64(p.Bytes) > r.file.Size {
+					r.wcur = 0
+				}
+				th.WriteFile(f, p.Bytes, r.wcur)
+				r.wcur += int64(p.Bytes)
+				if fd == nil {
+					th.CloseFD(f)
+				}
+			case kernel.SysFsync:
+				if r.file == nil {
+					continue
+				}
+				f := fd
+				if f == nil {
+					f = th.Open(r.file.Name)
+				}
+				th.Fsync(f)
+				if fd == nil {
+					th.CloseFD(f)
+				}
+			case kernel.SysClose:
+				if fd != nil {
+					th.CloseFD(fd)
+					fd = nil
+				}
+			case kernel.SysMmap:
+				// Address-space management: charge the syscall only.
+			}
+		}
+	}
+	if fd != nil {
+		th.CloseFD(fd)
+	}
+}

@@ -22,7 +22,7 @@ type Server struct {
 	streams map[int]*app.StreamCache
 	file    *kernel.File
 	offRng  *stats.Rand
-	sysAcc  map[int][]float64 // per worker, per plan entry
+	reps    map[int]*sysReplayer // per worker
 }
 
 // NewServer builds the synthetic server on m.
@@ -32,7 +32,7 @@ func NewServer(m *platform.Machine, port int, spec *core.SynthSpec, seed int64) 
 		bodies:  map[int]*Body{},
 		streams: map[int]*app.StreamCache{},
 		offRng:  stats.NewRand(seed ^ 0x0FF5E7),
-		sysAcc:  map[int][]float64{},
+		reps:    map[int]*sysReplayer{},
 	}
 	s.Base = app.NewBaseFor(spec.Name, m, port, seed)
 	return s
@@ -58,16 +58,21 @@ func (s *Server) cache(w int) *app.StreamCache {
 	return c
 }
 
+// rep returns worker w's syscall replayer (workers share the dataset file
+// and offset stream but carry their own fractional-rate state).
+func (s *Server) rep(w int) *sysReplayer {
+	r := s.reps[w]
+	if r == nil {
+		r = newSysReplayer(s.Spec.Syscalls, s.file, s.offRng)
+		s.reps[w] = r
+	}
+	return r
+}
+
 // Start instantiates the skeleton and launches threads.
 func (s *Server) Start() {
 	// Synthetic dataset for file-syscall replay.
-	var maxFile int64
-	for _, p := range s.Spec.Syscalls {
-		if p.FileSize > maxFile {
-			maxFile = p.FileSize
-		}
-	}
-	if maxFile > 0 {
+	if maxFile := maxPlanFile(s.Spec.Syscalls); maxFile > 0 {
 		s.file = s.M.Kernel.CreateFile("/data/"+s.Spec.Name+".synth", maxFile)
 	}
 
@@ -123,73 +128,11 @@ func (s *Server) Start() {
 
 // handle serves one synthetic request: syscall replay, body, response.
 func (s *Server) handle(th *kernel.Thread, w int, conn *kernel.Endpoint, msg kernel.Msg) {
-	s.replaySyscalls(th, w)
+	s.rep(w).replay(th)
 	th.RunTrace(s.cache(w).Next(0))
 	resp := s.Spec.RespBytes
 	if resp <= 0 {
 		resp = 64
 	}
 	th.Send(conn, resp, msg.Payload)
-}
-
-// replaySyscalls issues the planned syscalls at their per-request rates,
-// carrying fractional rates across requests deterministically.
-func (s *Server) replaySyscalls(th *kernel.Thread, w int) {
-	acc := s.sysAcc[w]
-	if acc == nil {
-		acc = make([]float64, len(s.Spec.Syscalls))
-		s.sysAcc[w] = acc
-	}
-	var fd *kernel.FD
-	for i, p := range s.Spec.Syscalls {
-		acc[i] += p.PerRequest
-		n := int(acc[i])
-		acc[i] -= float64(n)
-		for ; n > 0; n-- {
-			switch p.Op {
-			case kernel.SysOpen:
-				if s.file != nil {
-					fd = th.Open(s.file.Name)
-				}
-			case kernel.SysPread:
-				if s.file == nil {
-					continue
-				}
-				f := fd
-				if f == nil {
-					f = th.Open(s.file.Name)
-				}
-				off := int64(0)
-				if p.UniformOffsets && p.FileSize > int64(p.Bytes) {
-					off = s.offRng.Int63n((p.FileSize-int64(p.Bytes))/kernel.PageBytes) * kernel.PageBytes
-				}
-				th.Pread(f, p.Bytes, off)
-				if fd == nil {
-					th.CloseFD(f)
-				}
-			case kernel.SysWrite:
-				if s.file == nil {
-					continue
-				}
-				f := fd
-				if f == nil {
-					f = th.Open(s.file.Name)
-				}
-				th.WriteFile(f, p.Bytes, 0)
-				if fd == nil {
-					th.CloseFD(f)
-				}
-			case kernel.SysClose:
-				if fd != nil {
-					th.CloseFD(fd)
-					fd = nil
-				}
-			case kernel.SysMmap:
-				// Address-space management: charge the syscall only.
-			}
-		}
-	}
-	if fd != nil {
-		th.CloseFD(fd)
-	}
 }

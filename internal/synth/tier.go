@@ -35,31 +35,14 @@ func NewTier(m *platform.Machine, port int, spec *core.SynthSpec,
 	t.Body = NewBody(&spec.Body, t.P.MemBase+1<<32, seed)
 	t.Registry = reg
 
-	// File-syscall replay (storage tiers).
-	var pread *core.SyscallPlan
-	for i := range spec.Syscalls {
-		if spec.Syscalls[i].Op == kernel.SysPread && spec.Syscalls[i].FileSize > 0 {
-			pread = &spec.Syscalls[i]
-		}
-	}
-	if pread != nil {
-		file := m.Kernel.CreateFile("/data/"+cfg.Name+".synth", pread.FileSize)
-		rng := stats.NewRand(seed ^ 0x10)
-		rate := pread.PerRequest
-		acc := 0.0
-		p := *pread
+	// Full file-syscall plan replay (storage tiers): reads, WAL-style
+	// writes, and fsync all run on the handler thread so the clone's disk
+	// contention and commit-path stalls land where the original's did.
+	if maxFile := maxPlanFile(spec.Syscalls); maxFile > 0 {
+		file := m.Kernel.CreateFile("/data/"+cfg.Name+".synth", maxFile)
+		rep := newSysReplayer(spec.Syscalls, file, stats.NewRand(seed^0x10))
 		t.PostWork = func(th *kernel.Thread, kind int) {
-			acc += rate
-			for acc >= 1 {
-				acc--
-				off := int64(0)
-				if p.UniformOffsets && p.FileSize > int64(p.Bytes) {
-					off = rng.Int63n((p.FileSize-int64(p.Bytes))/kernel.PageBytes) * kernel.PageBytes
-				}
-				fd := th.Open(file.Name)
-				th.Pread(fd, p.Bytes, off)
-				th.CloseFD(fd)
-			}
+			rep.replay(th)
 		}
 	}
 	return t

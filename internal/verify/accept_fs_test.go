@@ -1,0 +1,42 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"ditto/internal/core"
+	"ditto/internal/experiments"
+	"ditto/internal/platform"
+	"ditto/internal/sim"
+)
+
+// TestVerifierAcceptsDittoFSClones is the acceptance gate for the storage
+// family: every tier spec the pipeline produces from a DittoFS deployment —
+// the adapter over each content backend, plus the remote blob tier — must
+// verify clean against its profile across two generation seeds. This is
+// what makes figS's synthetic columns trustworthy: the clone that gets
+// measured is the same artifact this gate checks.
+func TestVerifierAcceptsDittoFSClones(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profiles three simulated DittoFS deployments; skipped in -short")
+	}
+	seeds := []int64{1, 2}
+	win := experiments.Windows{Warmup: 10 * sim.Millisecond, Measure: 40 * sim.Millisecond}
+	tol := DefaultTolerances()
+	for _, backend := range []string{"mem", "lsm", "blob"} {
+		load := experiments.Load{Conns: 8, Seed: 5}
+		clone := experiments.CloneFS(backend, platform.A(), load, win, 29)
+		for _, name := range clone.Order {
+			prof := clone.Profiles[name]
+			for _, seed := range seeds {
+				t.Run(fmt.Sprintf("%s/%s/seed%d", backend, name, seed), func(t *testing.T) {
+					spec := core.Generate(prof, seed)
+					r := Spec(spec, prof, tol)
+					if !r.OK() {
+						t.Errorf("verification failed:\n%s", r)
+					}
+				})
+			}
+		}
+	}
+}

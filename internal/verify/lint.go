@@ -23,6 +23,7 @@ import (
 // surface — everything that executes inside a runner cell.
 var DeterministicPackages = []string{
 	"internal/app",
+	"internal/app/dittofs",
 	"internal/branch",
 	"internal/cache",
 	"internal/core",

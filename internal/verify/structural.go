@@ -183,7 +183,7 @@ func checkRegions(r *Report, spec *core.SynthSpec) {
 // directly; network and scheduler calls belong to the skeleton.
 var replayableOps = map[kernel.SyscallOp]bool{
 	kernel.SysOpen: true, kernel.SysClose: true, kernel.SysPread: true,
-	kernel.SysWrite: true, kernel.SysMmap: true,
+	kernel.SysWrite: true, kernel.SysFsync: true, kernel.SysMmap: true,
 }
 
 func checkSyscalls(r *Report, spec *core.SynthSpec) {
