@@ -37,7 +37,9 @@ func main() {
 		ms        = flag.Int("ms", 160, "measurement window (simulated ms)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		apps      = flag.String("apps", "", "comma-separated app filter for fig5/7/8")
-		quick     = flag.Bool("quick", false, "small windows, no tuning (smoke run)")
+		quick   = flag.Bool("quick", false, "small windows, no tuning (smoke run)")
+		sampled = flag.Bool("sampled", false,
+			"sampled steady-state execution: once per-tier convergence is detected, a seeded rotating subset of requests still executes while the rest are modeled from the measured distribution (warmup, fault windows, and durability paths always execute fully)")
 		benchJSON = flag.String("bench-json", "",
 			"write engine and cell benchmarks plus a parallel speedup measurement as JSON to this file, then exit")
 	)
@@ -53,6 +55,7 @@ func main() {
 		IncludeSocial: true,
 		Parallel:      *parallel,
 		IntraParallel: *intra,
+		Sampled:       *sampled,
 	}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")

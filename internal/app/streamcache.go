@@ -59,6 +59,8 @@ func (c *StreamCache) pregenerate(kind int) *streamSet {
 	s := &streamSet{}
 	for i := range s.variants {
 		s.variants[i] = cpu.NewTrace(c.body.EmitRequest(kind, nil))
+		s.variants[i].Class = cpu.ClassBody
+		s.variants[i].Group = s.variants[0]
 	}
 	c.sets[kind] = s
 	return s

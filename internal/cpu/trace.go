@@ -31,6 +31,19 @@ const (
 	tfLine // PC sits on a different fetch line than the previous instruction
 )
 
+// TraceClass labels what kind of cached stream a Trace holds, which is what
+// sampled steady-state execution keys eligibility on: only pregenerated
+// rotating variants (application request bodies, kernel syscall streams) are
+// statistically exchangeable enough to model from a measured distribution.
+// Ad-hoc traces keep ClassNone and always execute.
+type TraceClass uint8
+
+const (
+	ClassNone   TraceClass = iota // ad-hoc stream: never sampled
+	ClassBody                     // pregenerated application request-body variant
+	ClassKernel                   // pregenerated kernel syscall-stream variant
+)
+
 // Trace is a decoded instruction stream. The Stream field aliases the
 // decoded source so observers (the SDE analog) still see plain isa.Instr
 // values; the parallel arrays are what the execution loop reads. A Trace
@@ -38,6 +51,17 @@ const (
 // contract cached []isa.Instr streams already obey.
 type Trace struct {
 	Stream []isa.Instr
+
+	// Class marks sampling eligibility; Decode leaves it untouched so the
+	// owner of a cached variant sets it once at pregeneration time.
+	Class TraceClass
+	// Group links the rotating variants of one pregenerated set (the 8
+	// bodies of a (body, kind), the 8 kstreams of a syscall op) to a shared
+	// canonical trace, so the steady-state sampler pools their statistics:
+	// the variants are draws from the same generator, and the pooled
+	// empirical distribution is exactly the per-kind latency distribution a
+	// modeled request should reproduce. Nil means the trace samples alone.
+	Group *Trace
 
 	flags   []traceFlag
 	uop8    []uint8   // fused-domain uops

@@ -65,9 +65,9 @@ func RunFig10(w io.Writer, opt Options) Fig10Result {
 		spec *core.SynthSpec
 	)
 	p.AddPrep(runner.Key("fig10", "clone"), func(io.Writer) (any, error) {
-		capacity := probeCapacity(c, opt.Windows, opt.Seed)
+		capacity := probeCapacity(c, opt.Windows, opt.Seed, opt.Sampled)
 		load = Load{QPS: 0.5 * capacity, Conns: 16, Seed: opt.Seed}
-		_, spec = Clone(c.build, load, opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+71)
+		_, spec = cloneApp(c.build, load, opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+71, opt.Sampled)
 		return nil, nil
 	})
 	p.Barrier()
@@ -77,6 +77,12 @@ func RunFig10(w io.Writer, opt Options) Fig10Result {
 		func(sc fig10Scenario, v string, cw io.Writer) (any, error) {
 			opts := append([]platform.Option{platform.WithCoreCount(6)}, sc.opts...)
 			env := NewEnvW(opt.IntraParallel, platform.A(), opts...)
+			if opt.Sampled {
+				// The rotating executed sample still sees the stressors'
+				// cache pollution, so the drawn distribution tracks the
+				// interfered regime.
+				env.EnableSampling(load.Seed)
+			}
 			var a app.App
 			if v == "actual" {
 				a = c.build(env.Server)

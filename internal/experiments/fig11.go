@@ -58,10 +58,10 @@ func RunFig11(w io.Writer, opt Options, cores []int, freqs []float64) Fig11Resul
 		// Capacity at the best configuration sets the fixed offered load.
 		capRes := measureApp(platform.A(),
 			[]platform.Option{platform.WithCoreCount(16), platform.WithFreqGHz(2.1)},
-			build, Load{Conns: 32, Seed: opt.Seed}, opt.Windows, opt.IntraParallel)
+			build, Load{Conns: 32, Seed: opt.Seed}, opt.Windows, opt.IntraParallel, opt.Sampled)
 		qps = capRes.Throughput * 0.45
-		_, spec = Clone(build, Load{QPS: qps, Conns: 16, Seed: opt.Seed},
-			opt.Windows, 128<<20, opt.TuneIters, opt.Seed+83)
+		_, spec = cloneApp(build, Load{QPS: qps, Conns: 16, Seed: opt.Seed},
+			opt.Windows, 128<<20, opt.TuneIters, opt.Seed+83, opt.Sampled)
 		return nil, nil
 	})
 	p.Barrier()
@@ -79,7 +79,7 @@ func RunFig11(w io.Writer, opt Options, cores []int, freqs []float64) Fig11Resul
 			}
 			r := measureApp(platform.A(),
 				[]platform.Option{platform.WithCoreCount(nc), platform.WithFreqGHz(f)},
-				b, Load{QPS: qps, Conns: 16, Seed: opt.Seed}, opt.Windows, opt.IntraParallel)
+				b, Load{QPS: qps, Conns: 16, Seed: opt.Seed}, opt.Windows, opt.IntraParallel, opt.Sampled)
 			cell := Fig11Cell{Cores: nc, FreqGHz: f, Variant: v,
 				P99Ms: r.P99Ms, MeetQoS: r.P99Ms <= qosMs && r.P99Ms > 0}
 			if !opt.Quiet {

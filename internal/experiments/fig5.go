@@ -71,6 +71,13 @@ type Options struct {
 	// Progress, when set, observes cell completions (e.g. for a stderr
 	// ticker). It must not write to the figure writer.
 	Progress func(done, total, failed int, r runner.CellResult)
+	// Sampled enables steady-state sampled execution (internal/steady) in
+	// measurement cells: converged request and kernel-stream variants
+	// execute a rotating 1-in-N sample and model the rest from the measured
+	// distribution. Opt-in per experiment; cloning/profiling preps, the
+	// fault-plane figure (figF) and the storage figure (figS) always run
+	// fully executed.
+	Sampled bool
 }
 
 // DefaultOptions returns bench-grade settings.
@@ -105,7 +112,7 @@ func appCases(seed int64) []appCase {
 
 // probeCapacity measures closed-loop saturation throughput for an app so
 // open-loop load levels can be placed relative to it.
-func probeCapacity(c appCase, win Windows, seed int64) float64 {
+func probeCapacity(c appCase, win Windows, seed int64, sampled bool) float64 {
 	// The probe saturates the server, the most expensive regime to
 	// simulate; a short dedicated window is plenty for a throughput
 	// estimate.
@@ -114,6 +121,9 @@ func probeCapacity(c appCase, win Windows, seed int64) float64 {
 		probeWin = win
 	}
 	env := NewEnv(platform.A(), platform.WithCoreCount(8))
+	if sampled {
+		env.EnableSampling(seed)
+	}
 	a := c.build(env.Server)
 	a.Start()
 	res := Measure(env, a, Load{Conns: 32, Seed: seed}, probeWin)
@@ -199,7 +209,7 @@ func RunFig5(w io.Writer, opt Options) Fig5Result {
 		preps[c.name] = pr
 		p.AddPrep(runner.Key("fig5", c.name, "clone"), func(io.Writer) (any, error) {
 			pr.clonePrep = prepLevels(c, opt)
-			_, pr.spec = Clone(c.build, mediumOf(pr.levels), opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+17)
+			_, pr.spec = cloneApp(c.build, mediumOf(pr.levels), opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+17, opt.Sampled)
 			return nil, nil
 		})
 	}
@@ -227,7 +237,7 @@ func RunFig5(w io.Writer, opt Options) Fig5Result {
 						}
 					}
 					r := measureApp(platform.A(), []platform.Option{platform.WithCoreCount(8)},
-						build, pr.levels[li].Load, opt.Windows, opt.IntraParallel)
+						build, pr.levels[li].Load, opt.Windows, opt.IntraParallel, opt.Sampled)
 					fr := fig5Row(c.name, ln, v, r)
 					emitFig5(cw, opt, []Fig5Row{fr})
 					return fr, nil
@@ -246,6 +256,9 @@ func RunFig5(w io.Writer, opt Options) Fig5Result {
 						d = NewOriginalSN(platform.A(), nodes, 8, opt.Seed+5, opt.IntraParallel)
 					} else {
 						d = NewSynthSN(snClone, platform.A(), nodes, 8, opt.Seed+6, opt.IntraParallel)
+					}
+					if opt.Sampled {
+						d.Env.EnableSampling(lv.Load.Seed)
 					}
 					_, per := MeasureSN(d, lv.Load, snWin, fig5SocialTiers)
 					d.Env.Shutdown()

@@ -58,6 +58,9 @@ func RunFig6(w io.Writer, opt Options, qpsLevels []float64) Fig6Result {
 			} else {
 				d = NewSynthSN(clone, platform.A(), nodes, 8, opt.Seed+12, opt.IntraParallel)
 			}
+			if opt.Sampled {
+				d.Env.EnableSampling(load.Seed)
+			}
 			e2e, _ := MeasureSN(d, load, opt.Windows, nil)
 			d.Env.Shutdown()
 			pt := Fig6Point{QPS: qps, Variant: v, P50Ms: e2e.P50Ms,

@@ -61,7 +61,7 @@ func RunFig7(w io.Writer, opt Options) Fig7Result {
 		preps[c.name] = pr
 		p.AddPrep(runner.Key("fig7", c.name, "clone"), func(io.Writer) (any, error) {
 			pr.clonePrep = prepLevels(c, opt)
-			_, pr.spec = Clone(c.build, mediumOf(pr.levels), opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+23)
+			_, pr.spec = cloneApp(c.build, mediumOf(pr.levels), opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+23, opt.Sampled)
 			return nil, nil
 		})
 	}
@@ -96,7 +96,7 @@ func RunFig7(w io.Writer, opt Options) Fig7Result {
 					}
 				}
 				r := measureApp(plat, []platform.Option{platform.WithCoreCount(fig7CoreCount(plat))},
-					build, load, opt.Windows, opt.IntraParallel)
+					build, load, opt.Windows, opt.IntraParallel, opt.Sampled)
 				fr := Fig7Row{App: c.name, Platform: plat.Name, Variant: v,
 					Metrics: r.Metrics, NetBW: r.NetBW, DiskBW: r.DiskBW,
 					AvgMs: r.AvgMs, P99Ms: r.P99Ms}
@@ -127,6 +127,9 @@ func RunFig7(w io.Writer, opt Options) Fig7Result {
 						dep = NewOriginalSN(d.spec, d.nodes, d.cores, opt.Seed+53, opt.IntraParallel)
 					} else {
 						dep = NewSynthSN(snClone, d.spec, d.nodes, d.cores, opt.Seed+54, opt.IntraParallel)
+					}
+					if opt.Sampled {
+						dep.Env.EnableSampling(snLoad.Seed)
 					}
 					_, per := MeasureSN(dep, snLoad, snWin, fig5SocialTiers)
 					dep.Env.Shutdown()

@@ -60,7 +60,7 @@ func RunFig8(w io.Writer, opt Options) Fig8Result {
 		preps[c.name] = pr
 		p.AddPrep(runner.Key("fig8", c.name, "clone"), func(io.Writer) (any, error) {
 			pr.clonePrep = prepLevels(c, opt)
-			_, pr.spec = Clone(c.build, mediumOf(pr.levels), opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+41)
+			_, pr.spec = cloneApp(c.build, mediumOf(pr.levels), opt.Windows, c.maxDWS, opt.TuneIters, opt.Seed+41, opt.Sampled)
 			return nil, nil
 		})
 	}
@@ -92,7 +92,7 @@ func RunFig8(w io.Writer, opt Options) Fig8Result {
 					}
 				}
 				r := measureApp(platform.A(), []platform.Option{platform.WithCoreCount(8)},
-					build, mediumOf(pr.levels), opt.Windows, opt.IntraParallel)
+					build, mediumOf(pr.levels), opt.Windows, opt.IntraParallel, opt.Sampled)
 				fr := fig8Row(c.name, v, r)
 				emit(cw, fr)
 				return fr, nil
@@ -108,6 +108,9 @@ func RunFig8(w io.Writer, opt Options) Fig8Result {
 					d = NewOriginalSN(platform.A(), nodes, 8, opt.Seed+47, opt.IntraParallel)
 				} else {
 					d = NewSynthSN(snClone, platform.A(), nodes, 8, opt.Seed+48, opt.IntraParallel)
+				}
+				if opt.Sampled {
+					d.Env.EnableSampling(snLoad.Seed)
 				}
 				_, per := MeasureSN(d, snLoad, snWin, fig5SocialTiers)
 				d.Env.Shutdown()

@@ -48,12 +48,12 @@ func RunFig9(w io.Writer, opt Options) Fig9Result {
 	var prof *profile.AppProfile
 	p := runner.NewPlan()
 	p.AddPrep(runner.Key("fig9", "profile"), func(io.Writer) (any, error) {
-		prof = ProfileRun(c.build, load, opt.Windows, c.maxDWS)
+		prof = profileRun(c.build, load, opt.Windows, c.maxDWS, opt.Sampled)
 		return nil, nil
 	})
 	p.Add(runner.Key("fig9", "target"), func(cw io.Writer) (any, error) {
 		r := measureApp(platform.A(), []platform.Option{platform.WithCoreCount(8)},
-			c.build, load, opt.Windows, opt.IntraParallel)
+			c.build, load, opt.Windows, opt.IntraParallel, opt.Sampled)
 		fr := fig9Of("target", r, opt.Windows)
 		emit(cw, fr)
 		return fr, nil
@@ -80,7 +80,7 @@ func RunFig9(w io.Writer, opt Options) Fig9Result {
 			r := measureApp(platform.A(), []platform.Option{platform.WithCoreCount(8)},
 				func(m *platform.Machine) app.App {
 					return synth.NewServer(m, c.port, spec, opt.Seed+61)
-				}, load, opt.Windows, opt.IntraParallel)
+				}, load, opt.Windows, opt.IntraParallel, opt.Sampled)
 			fr := fig9Of(st.String(), r, opt.Windows)
 			emit(cw, fr)
 			return fr, nil

@@ -16,6 +16,7 @@ import (
 	"ditto/internal/platform"
 	"ditto/internal/profile"
 	"ditto/internal/sim"
+	"ditto/internal/steady"
 	"ditto/internal/synth"
 )
 
@@ -31,6 +32,8 @@ type Env struct {
 	Server  *platform.Machine
 	Client  *platform.Machine
 	extra   []*platform.Machine
+
+	samplers []*steady.Sampler // installed by EnableSampling, held until ArmSampling
 }
 
 // NewEnv builds a classic single-engine environment on the given server
@@ -80,6 +83,80 @@ func (e *Env) AddMachine(name string, spec platform.Spec, opts ...platform.Optio
 	e.Cluster.Add(m)
 	e.extra = append(e.extra, m)
 	return m
+}
+
+// EnableSampling installs a steady-state sampler (internal/steady) on every
+// machine kernel of the environment, switching converged request and
+// kernel-stream variants to sampled execution. Each kernel gets its own
+// sampler — samplers are per shard, so the conservative-parallel engine
+// never shares sampler state across threads — seeded from seed plus the
+// machine's position, so repeated runs and both parallelism axes draw
+// byte-identical sequences.
+//
+// The samplers start held: warmup is never sampled, so every request
+// executes fully (while the detector and distributions learn) until the
+// measurement harness calls ArmSampling at the warmup/measure boundary.
+func (e *Env) EnableSampling(seed int64) {
+	install := func(m *platform.Machine, s *steady.Sampler) {
+		s.Hold()
+		m.Kernel.SetSampler(s)
+		e.samplers = append(e.samplers, s)
+	}
+	install(e.Server, steady.NewDefault(seed+101))
+	install(e.Client, steady.NewDefault(seed+202))
+	for i, m := range e.extra {
+		install(m, steady.NewDefault(seed+303+int64(i)))
+	}
+}
+
+// ArmSampling arms every held sampler; a no-op when sampling is not
+// enabled. Measure and MeasureSN call it after the warmup window, so
+// modeled execution begins exactly at the measurement boundary.
+func (e *Env) ArmSampling() {
+	for _, s := range e.samplers {
+		s.Arm()
+	}
+}
+
+// steadyWarmupShare is the fraction of sampler-eligible traffic that must
+// belong to steady groups before a sampled warmup may end early.
+const steadyWarmupShare = 0.85
+
+// WarmupFor advances the environment through a warmup window. Without
+// sampling it is exactly RunFor(budget). With sampling enabled, warmup is
+// still never modeled (samplers are held), but budget becomes an upper
+// bound: the run advances in fixed slices and stops as soon as every
+// sampler certifies that at least steadyWarmupShare of its traffic is
+// steady — warmup exists to reach steady state, and the detector can
+// certify that directly instead of burning the full time budget. Slice
+// boundaries are fixed fractions of the budget and sampler state is
+// deterministic at each boundary, so early exit is deterministic too, at
+// every parallelism width.
+func (e *Env) WarmupFor(budget sim.Time) {
+	if len(e.samplers) == 0 || budget <= 0 {
+		e.RunFor(budget)
+		return
+	}
+	const slices = 8
+	slice := budget / slices
+	if slice <= 0 {
+		e.RunFor(budget)
+		return
+	}
+	for i := 0; i < slices; i++ {
+		e.RunFor(slice)
+		converged := true
+		for _, s := range e.samplers {
+			if s.SteadyShare() < steadyWarmupShare {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return
+		}
+	}
+	e.RunFor(budget - slices*slice) // integer-division remainder
 }
 
 // RunFor advances the environment's virtual time by d.
@@ -216,8 +293,15 @@ func metricsOf(c cpu.Counters) profile.TargetMetrics {
 // returns, measure it under load, and tear the environment down. Every
 // state it touches is freshly constructed, which is what makes cells safe
 // to run concurrently.
-func measureApp(spec platform.Spec, opts []platform.Option, build AppBuilder, load Load, win Windows, intra int) Result {
+// sampled enables steady-state sampled execution for the measurement: the
+// warmup window doubles as the detector's convergence run (a variant only
+// starts modeling after Window×Stable full executions), so the measured
+// window sees converged sampling.
+func measureApp(spec platform.Spec, opts []platform.Option, build AppBuilder, load Load, win Windows, intra int, sampled bool) Result {
 	env := NewEnvW(intra, spec, opts...)
+	if sampled {
+		env.EnableSampling(load.Seed)
+	}
 	a := build(env.Server)
 	a.Start()
 	r := Measure(env, a, load, win)
@@ -234,7 +318,8 @@ func Measure(env *Env, a app.App, load Load, win Windows) Result {
 		Mix: load.Mix, Seed: load.Seed,
 	})
 	g.Start()
-	env.RunFor(win.Warmup)
+	env.WarmupFor(win.Warmup)
+	env.ArmSampling()
 	g.Reset()
 	before := snap(a.Proc())
 	start := env.Now()
@@ -281,7 +366,29 @@ type AppBuilder func(m *platform.Machine) app.App
 // on Platform A under the given load and returns its AppProfile — the
 // paper's "profile once at medium load".
 func ProfileRun(build AppBuilder, load Load, win Windows, maxDataWS int) *profile.AppProfile {
+	return profileRun(build, load, win, maxDataWS, false)
+}
+
+// ProfileRunSampled is ProfileRun under sampled steady-state execution —
+// the profiling window models converged request variants and scales the
+// observed absolutes back up (see profile.Profiler). Exposed so the §4.4
+// conformance gate can re-run against sampled profiles.
+func ProfileRunSampled(build AppBuilder, load Load, win Windows, maxDataWS int) *profile.AppProfile {
+	return profileRun(build, load, win, maxDataWS, true)
+}
+
+// profileRun is ProfileRun with an opt-in sampled profiling window. The
+// profile quantities synthesis consumes — instruction-mix fractions, miss
+// and dependency rates, working-set curves — are ratios over observed
+// instructions, so the SMARTS argument that justifies sampled measurement
+// carries over: the warmup executes fully (samplers are held), and the
+// detailed windows that execute after arming preserve every profiled rate
+// while the modeled stretch skips work the profile has already seen.
+func profileRun(build AppBuilder, load Load, win Windows, maxDataWS int, sampled bool) *profile.AppProfile {
 	env := NewEnv(platform.A(), platform.WithCoreCount(8))
+	if sampled {
+		env.EnableSampling(load.Seed)
+	}
 	a := build(env.Server)
 	a.Start()
 	p := profile.NewProfiler(a.Name())
@@ -295,7 +402,9 @@ func ProfileRun(build AppBuilder, load Load, win Windows, maxDataWS int) *profil
 		Seed: load.Seed,
 	})
 	g.Start()
-	env.RunFor(win.Warmup + win.Measure)
+	env.WarmupFor(win.Warmup)
+	env.ArmSampling()
+	env.RunFor(win.Measure)
 	prof := p.Finish()
 	env.Shutdown()
 	return prof
@@ -317,7 +426,14 @@ func SynthRunner(load Load, win Windows) core.Runner {
 // Clone profiles the original app, generates a synthetic spec, and
 // fine-tunes it (§4.5) — the complete Ditto pipeline for a single-tier app.
 func Clone(build AppBuilder, load Load, win Windows, maxDataWS int, tuneIters int, seed int64) (*profile.AppProfile, *core.SynthSpec) {
-	prof := ProfileRun(build, load, win, maxDataWS)
+	return cloneApp(build, load, win, maxDataWS, tuneIters, seed, false)
+}
+
+// cloneApp is Clone with an opt-in sampled profiling run. Fine-tuning
+// iterations always measure candidates at full fidelity: the tuner chases
+// sub-percent metric deltas, so its measurement arm is never sampled.
+func cloneApp(build AppBuilder, load Load, win Windows, maxDataWS int, tuneIters int, seed int64, sampled bool) (*profile.AppProfile, *core.SynthSpec) {
+	prof := profileRun(build, load, win, maxDataWS, sampled)
 	if tuneIters <= 0 {
 		return prof, core.Generate(prof, seed)
 	}

@@ -88,7 +88,7 @@ type clonePrep struct {
 func prepLevels(c appCase, opt Options) clonePrep {
 	pr := clonePrep{}
 	if c.open {
-		pr.capacity = probeCapacity(c, opt.Windows, opt.Seed)
+		pr.capacity = probeCapacity(c, opt.Windows, opt.Seed, opt.Sampled)
 	}
 	pr.levels = loadLevels(c, pr.capacity, opt.Seed)
 	return pr

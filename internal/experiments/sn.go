@@ -86,7 +86,8 @@ func MeasureSN(d *SNEnv, load Load, win Windows, tiers []string) (Result, map[st
 		Port: d.Port, Conns: load.Conns, QPS: load.QPS, Mix: load.Mix, Seed: load.Seed,
 	})
 	g.Start()
-	d.Env.RunFor(win.Warmup)
+	d.Env.WarmupFor(win.Warmup)
+	d.Env.ArmSampling()
 	g.Reset()
 	before := map[string]snapshot{}
 	for _, tn := range tiers {

@@ -93,6 +93,45 @@ type Kernel struct {
 	ksg    kstreamGen
 	kcache [NumSyscalls + 1][]*cpu.Trace
 	kvar   [NumSyscalls + 1]uint8
+
+	// sampler, when set, may short-circuit eligible decoded-trace
+	// executions to a modeled result (sampled steady-state execution).
+	sampler ExecSampler
+}
+
+// ExecSampler is the sampled steady-state hook (internal/steady implements
+// it). Before executing an eligible decoded trace the kernel asks Next; a
+// true ok means the returned result stands in for execution — the burst
+// still occupies its core for the result's cycles, counters are charged
+// identically, but caches and predictors are left untouched. When ok is
+// false the kernel executes the trace and feeds the real result back
+// through Observe. Traces with Class cpu.ClassNone never reach the sampler.
+type ExecSampler interface {
+	Next(tr *cpu.Trace) (cpu.Result, bool)
+	Observe(tr *cpu.Trace, r cpu.Result)
+}
+
+// SetSampler installs (or, with nil, removes) the steady-state sampler.
+// Sampling is opt-in per experiment: profiling runs never install one, so
+// the SDE/SystemTap observation surface always sees full execution.
+func (k *Kernel) SetSampler(s ExecSampler) { k.sampler = s }
+
+// execTrace is the single choke point for cached-trace execution — app
+// request bodies via RunTrace, kernel syscall streams, and the ctx-switch
+// stream all pass through it, which is what gives sampled mode its parity
+// across user and kernel instruction streams. The second return reports
+// whether the trace actually executed (false: the result was modeled), so
+// callers can gate per-instruction observation to executed samples.
+func (k *Kernel) execTrace(core *cpu.Core, tr *cpu.Trace) (cpu.Result, bool) {
+	if k.sampler != nil && tr.Class != cpu.ClassNone {
+		if r, ok := k.sampler.Next(tr); ok {
+			return r, false
+		}
+		r := core.ExecuteTrace(tr)
+		k.sampler.Observe(tr, r)
+		return r, true
+	}
+	return core.ExecuteTrace(tr), true
 }
 
 // New builds a kernel over the given resources.
@@ -157,6 +196,12 @@ type Proc struct {
 	DiskReadBytes, DiskWritten uint64
 
 	observer func([]isa.Instr) // SDE-style user-instruction hook
+
+	// Observation accounting under sampled steady state: body executions
+	// the observer saw versus ones modeled past it. Profilers scale
+	// observer-derived per-request quantities by the ratio; in full
+	// execution ModeledBodies is always zero and the scale is exactly 1.
+	ObservedBodies, ModeledBodies uint64
 
 	liveThreads int
 	spawnedEver int
@@ -370,8 +415,9 @@ func (k *Kernel) Stop() {
 // request streams) or raw (ad-hoc streams, decoded into the core's scratch
 // at execution time).
 type burstItem struct {
-	trace  *cpu.Trace
-	stream []isa.Instr
+	trace   *cpu.Trace
+	stream  []isa.Instr
+	observe bool // user-level trace: report to the proc's instruction observer when executed
 }
 
 // burst is one schedulable unit of CPU work: one or more instruction
@@ -421,7 +467,7 @@ func (k *Kernel) runBurst(coreID int, b *burst) {
 		if prev.Proc != b.t.Proc {
 			core.ContextSwitch() // private-cache pollution across processes
 		}
-		csRes := core.ExecuteTrace(k.kstream(opCtxSwitch))
+		csRes, _ := k.execTrace(core, k.kstream(opCtxSwitch))
 		b.t.Proc.Counters.Add(csRes.Counters)
 		extra = core.Time(csRes.Cycles)
 	}
@@ -430,7 +476,22 @@ func (k *Kernel) runBurst(coreID int, b *burst) {
 	for _, it := range b.items {
 		var r cpu.Result
 		if it.trace != nil {
-			r = core.ExecuteTrace(it.trace)
+			var executed bool
+			r, executed = k.execTrace(core, it.trace)
+			if it.observe && b.t.Proc.observer != nil {
+				// The SDE-style observer sees executed samples only: under
+				// sampling, every profile quantity is a per-instruction
+				// fraction, so observing the detailed windows preserves it
+				// while modeled requests skip the observation cost. The
+				// observed/modeled split lets profilers rescale per-request
+				// absolutes (instructions, working-set touches).
+				if executed {
+					b.t.Proc.ObservedBodies++
+					b.t.Proc.observer(it.trace.Stream)
+				} else {
+					b.t.Proc.ModeledBodies++
+				}
+			}
 		} else {
 			r = core.Execute(it.stream)
 		}
@@ -464,6 +525,8 @@ func (k *Kernel) kstream(op SyscallOp) *cpu.Trace {
 		for i := range vs {
 			var buf []isa.Instr
 			vs[i] = cpu.NewTrace(k.ksg.gen(&buf, op, 0, 0))
+			vs[i].Class = cpu.ClassKernel
+			vs[i].Group = vs[0]
 		}
 		k.kcache[op] = vs
 	}
@@ -503,12 +566,11 @@ func (t *Thread) Run(stream []isa.Instr) cpu.Result {
 
 // RunTrace executes a pre-decoded user-level stream — the cached-request
 // hot path. The observer sees the trace's source stream, exactly as Run
-// would report it.
+// would report it, but only for requests that actually execute: modeled
+// requests under sampled steady state skip observation, keeping profiled
+// instruction fractions tied to executed samples.
 func (t *Thread) RunTrace(tr *cpu.Trace) cpu.Result {
-	if t.Proc.observer != nil {
-		t.Proc.observer(tr.Stream)
-	}
-	t.itemBuf[0] = burstItem{trace: tr}
+	t.itemBuf[0] = burstItem{trace: tr, observe: true}
 	return t.compute(t.itemBuf[:1])
 }
 

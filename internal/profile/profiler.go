@@ -24,6 +24,8 @@ type Profiler struct {
 	proc        *kernel.Proc
 	k           *kernel.Kernel
 	base        cpu.Counters
+	baseObs     uint64
+	baseMod     uint64
 	reqOverride int
 }
 
@@ -42,6 +44,8 @@ func (p *Profiler) Attach(proc *kernel.Proc) {
 	p.proc = proc
 	p.k = proc.Kernel()
 	p.base = proc.Counters
+	p.baseObs = proc.ObservedBodies
+	p.baseMod = proc.ModeledBodies
 	p.sde = newSDEState()
 	p.vg = newValgrindState(p.MaxDataWS, p.MaxInstrWS)
 	p.stap = newStapState(proc.Name)
@@ -84,9 +88,17 @@ func (p *Profiler) Finish() *AppProfile {
 		prof.RespBytesMean = float64(send.bytes) / float64(send.count)
 	}
 
-	// Body (SDE + Valgrind).
+	// Body (SDE + Valgrind). Under sampled steady state the observer saw
+	// only executed bodies; per-request absolutes scale back up by the
+	// observed/(observed+modeled) ratio, while every fraction and
+	// normalized histogram below is ratio-of-observed and needs no
+	// correction. In full execution modeled is zero and obsScale is 1.
+	obsScale := 1.0
+	if obs, mod := p.proc.ObservedBodies-p.baseObs, p.proc.ModeledBodies-p.baseMod; obs > 0 && mod > 0 {
+		obsScale = float64(obs+mod) / float64(obs)
+	}
 	b := &prof.Body
-	b.InstrsPerRequest = float64(p.sde.instrs) / float64(requests)
+	b.InstrsPerRequest = float64(p.sde.instrs) * obsScale / float64(requests)
 	b.Mix = p.sde.mix()
 	b.Branches, b.BranchShare, b.StaticBranches = p.sde.branchBins()
 	b.RAW = normalizeDep(p.sde.rawH)
@@ -107,7 +119,7 @@ func (p *Profiler) Finish() *AppProfile {
 	if p.sde.repCount > 0 {
 		b.RepBytesMean = float64(p.sde.repBytes) / float64(p.sde.repCount)
 	}
-	perReq := 1.0 / float64(requests)
+	perReq := obsScale / float64(requests)
 	for _, bin := range p.vg.deriveDWS() {
 		b.DWS = append(b.DWS, WSBin{Bytes: bin.Bytes, Count: bin.Count * perReq})
 	}

@@ -64,6 +64,87 @@ func (z *Zipf) Next() uint64 {
 	return z.z.Uint64()
 }
 
+// Empirical is a bounded empirical distribution: a ring of the most recent
+// Cap observations with a private seeded xorshift64* draw stream. It is the
+// statistical core of sampled steady-state execution — modeled requests
+// draw their result from the measured per-variant distribution — so both
+// the ring layout and the draw sequence are pure functions of the seed and
+// the Add order. Callers that need to attach payloads to observations (the
+// steady sampler stores a full cpu.Result per sample) key a parallel array
+// by the slot index Add and DrawIndex return.
+type Empirical struct {
+	vals []float64
+	next int
+	full bool
+	rng  uint64
+	sum  float64 // running sum of the live window
+}
+
+// NewEmpirical returns an empty distribution holding at most capacity
+// observations (minimum 1), drawing with the given seed.
+func NewEmpirical(capacity int, seed int64) *Empirical {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r := uint64(seed)*0x9E3779B97F4A7C15 + 0x853C49E6748FEA9B
+	return &Empirical{vals: make([]float64, 0, capacity), rng: r}
+}
+
+// Add records one observation, evicting the oldest once the ring is full,
+// and returns the slot index the observation was written to.
+func (e *Empirical) Add(v float64) int {
+	if !e.full && len(e.vals) < cap(e.vals) {
+		e.vals = append(e.vals, v)
+		e.sum += v
+		return len(e.vals) - 1
+	}
+	e.full = true
+	slot := e.next
+	e.sum += v - e.vals[slot]
+	e.vals[slot] = v
+	e.next = slot + 1
+	if e.next == cap(e.vals) {
+		e.next = 0
+	}
+	return slot
+}
+
+// Count reports the number of live observations (at most the capacity).
+func (e *Empirical) Count() int { return len(e.vals) }
+
+// Mean reports the mean of the live window, or 0 when empty.
+func (e *Empirical) Mean() float64 {
+	if len(e.vals) == 0 {
+		return 0
+	}
+	return e.sum / float64(len(e.vals))
+}
+
+// DrawIndex returns the slot index of a uniformly drawn live observation,
+// advancing the seeded stream. It panics on an empty distribution.
+func (e *Empirical) DrawIndex() int {
+	if len(e.vals) == 0 {
+		panicEmptyDraw()
+	}
+	e.rng ^= e.rng >> 12
+	e.rng ^= e.rng << 25
+	e.rng ^= e.rng >> 27
+	return int((e.rng * 0x2545F4914F6CDD1D) >> 33 % uint64(len(e.vals)))
+}
+
+// panicEmptyDraw is the cold failure path of DrawIndex, hoisted behind
+// noinline so the panic string stays out of noalloc-gated callers that
+// inline DrawIndex itself.
+//
+//go:noinline
+func panicEmptyDraw() { panic("stats: DrawIndex on empty Empirical") }
+
+// Draw returns a uniformly drawn live observation.
+func (e *Empirical) Draw() float64 { return e.vals[e.DrawIndex()] }
+
+// At returns the observation stored in slot (as returned by Add/DrawIndex).
+func (e *Empirical) At(slot int) float64 { return e.vals[slot] }
+
 // Categorical samples indices according to a fixed weight vector.
 type Categorical struct {
 	cum []float64

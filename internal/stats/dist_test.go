@@ -88,6 +88,87 @@ func TestZipfSkewAndUniform(t *testing.T) {
 	}
 }
 
+func TestEmpiricalRingAndMean(t *testing.T) {
+	e := NewEmpirical(4, 1)
+	if e.Count() != 0 || e.Mean() != 0 {
+		t.Fatal("fresh Empirical should be empty")
+	}
+	for i := 0; i < 4; i++ {
+		if slot := e.Add(float64(i)); slot != i {
+			t.Fatalf("fill slot = %d, want %d", slot, i)
+		}
+	}
+	if e.Mean() != 1.5 {
+		t.Fatalf("Mean = %v, want 1.5", e.Mean())
+	}
+	// Fifth add evicts the oldest (slot 0) and the mean tracks the window.
+	if slot := e.Add(10); slot != 0 {
+		t.Fatalf("evicting slot = %d, want 0", slot)
+	}
+	if e.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", e.Count())
+	}
+	if want := (1.0 + 2 + 3 + 10) / 4; e.Mean() != want {
+		t.Fatalf("Mean = %v, want %v", e.Mean(), want)
+	}
+	if e.At(0) != 10 {
+		t.Fatalf("At(0) = %v, want 10", e.At(0))
+	}
+}
+
+func TestEmpiricalDrawDeterminism(t *testing.T) {
+	mk := func(seed int64) []int {
+		e := NewEmpirical(8, seed)
+		for i := 0; i < 8; i++ {
+			e.Add(float64(i))
+		}
+		out := make([]int, 64)
+		for i := range out {
+			out[i] = e.DrawIndex()
+		}
+		return out
+	}
+	a, b := mk(7), mk(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed draw sequences diverged")
+		}
+	}
+	c := mk(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical draw sequences")
+	}
+	// Draws cover the window.
+	seen := map[int]bool{}
+	for _, s := range a {
+		if s < 0 || s >= 8 {
+			t.Fatalf("draw out of range: %d", s)
+		}
+		seen[s] = true
+	}
+	if len(seen) < 6 {
+		t.Fatalf("draw coverage too low: %d of 8 slots", len(seen))
+	}
+}
+
+func TestEmpiricalCapacityClamp(t *testing.T) {
+	e := NewEmpirical(0, 1)
+	e.Add(5)
+	if e.Count() != 1 || e.Draw() != 5 {
+		t.Fatal("capacity clamp to 1 broken")
+	}
+	e.Add(7)
+	if e.Count() != 1 || e.At(0) != 7 {
+		t.Fatal("single-slot ring should evict in place")
+	}
+}
+
 func TestCategorical(t *testing.T) {
 	r := NewRand(5)
 	c := NewCategorical([]float64{1, 0, 3})

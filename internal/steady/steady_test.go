@@ -1,0 +1,312 @@
+package steady
+
+import (
+	"testing"
+
+	"ditto/internal/cpu"
+	"ditto/internal/isa"
+)
+
+// testTrace builds a minimal eligible decoded trace.
+func testTrace(class cpu.TraceClass) *cpu.Trace {
+	tr := cpu.NewTrace([]isa.Instr{{Op: isa.ADDrr}})
+	tr.Class = class
+	return tr
+}
+
+// res fabricates a stable result shape for feeding the detector.
+func res(cycles float64, branches, mispred, l1Acc, l1Miss uint64) cpu.Result {
+	var c cpu.Counters
+	c.Cycles = cycles
+	c.Branches = branches
+	c.Mispred = mispred
+	c.L1dAcc = l1Acc
+	c.L1dMiss = l1Miss
+	return cpu.Result{Cycles: cycles, Counters: c}
+}
+
+// drive runs n requests of tr through the sampler the way the kernel does,
+// executing (with result r) whenever the sampler asks for it.
+func drive(s *Sampler, tr *cpu.Trace, n int, r cpu.Result) (executed, modeled int) {
+	for i := 0; i < n; i++ {
+		if _, ok := s.Next(tr); ok {
+			modeled++
+			continue
+		}
+		executed++
+		s.Observe(tr, r)
+	}
+	return
+}
+
+func TestConvergenceThenSampling(t *testing.T) {
+	cfg := DefaultConfig(1)
+	s := New(cfg)
+	tr := testTrace(cpu.ClassBody)
+	r := res(100, 10, 1, 50, 5)
+
+	// The first Window*(Stable+1) requests must all execute: the detector
+	// needs Stable converged window pairs, i.e. Stable+1 windows.
+	warm := cfg.Window * (cfg.Stable + 1)
+	ex, mo := drive(s, tr, warm, r)
+	if mo != 0 || ex != warm {
+		t.Fatalf("warmup: executed=%d modeled=%d, want all %d executed", ex, mo, warm)
+	}
+	if s.SteadyVariants() != 1 {
+		t.Fatalf("group not steady after %d stable observations", warm)
+	}
+
+	// Finish the current sampling period, then drive whole periods: each
+	// executes exactly one detailed window of Detail requests and models
+	// the rest.
+	period := cfg.Detail * cfg.Every
+	drive(s, tr, period-warm, r)
+	for p := 0; p < 3; p++ {
+		ex, mo = drive(s, tr, period, r)
+		if ex != cfg.Detail || mo != period-cfg.Detail {
+			t.Fatalf("period %d: executed=%d modeled=%d, want %d/%d",
+				p, ex, mo, cfg.Detail, period-cfg.Detail)
+		}
+	}
+}
+
+func TestModeledResultsComeFromObservedWindow(t *testing.T) {
+	s := NewDefault(1)
+	tr := testTrace(cpu.ClassBody)
+	r := res(250, 8, 1, 40, 4)
+	drive(s, tr, 200, r)
+	got, ok := s.Next(tr)
+	for !ok {
+		s.Observe(tr, r)
+		got, ok = s.Next(tr)
+	}
+	if got.Cycles != 250 || got.Counters.Mispred != 1 || got.Counters.L1dMiss != 4 {
+		t.Fatalf("modeled result %+v not drawn from observed window", got)
+	}
+}
+
+func TestNoisyGroupNeverConverges(t *testing.T) {
+	s := NewDefault(1)
+	tr := testTrace(cpu.ClassBody)
+	// Alternate windows between very different costs: relDiff ≈ 1 >> Tol.
+	for w := 0; w < 20; w++ {
+		cycles := 100.0
+		if w%2 == 1 {
+			cycles = 300
+		}
+		for i := 0; i < s.cfg.Window; i++ {
+			if _, ok := s.Next(tr); ok {
+				t.Fatal("noisy group was modeled")
+			}
+			s.Observe(tr, res(cycles, 10, 1, 50, 5))
+		}
+	}
+	if s.SteadyVariants() != 0 {
+		t.Fatal("noisy group converged")
+	}
+}
+
+func TestDriftReArmsFullExecution(t *testing.T) {
+	cfg := DefaultConfig(1)
+	s := New(cfg)
+	tr := testTrace(cpu.ClassBody)
+	drive(s, tr, cfg.Window*(cfg.Stable+1), res(100, 10, 1, 50, 5))
+	if s.SteadyVariants() != 1 {
+		t.Fatal("did not reach steady state")
+	}
+	// A phase change: executed samples now cost 10x. The next counted
+	// convergence window re-arms the group.
+	shifted := res(1000, 10, 1, 50, 5)
+	reArmed := false
+	for i := 0; i < cfg.Detail*cfg.Every*2 && !reArmed; i++ {
+		if _, ok := s.Next(tr); !ok {
+			s.Observe(tr, shifted)
+		}
+		reArmed = s.SteadyVariants() == 0
+	}
+	if !reArmed {
+		t.Fatal("10x drift did not re-arm full execution")
+	}
+	// Everything executes again until the new level re-converges.
+	ex, mo := drive(s, tr, cfg.Window, shifted)
+	if mo != 0 || ex != cfg.Window {
+		t.Fatalf("after re-arm: executed=%d modeled=%d", ex, mo)
+	}
+	// And with the new level stable, it re-enters steady state — phase
+	// changes are re-measured, not permanently penalized.
+	drive(s, tr, cfg.Window*cfg.Stable, shifted)
+	if s.SteadyVariants() != 1 {
+		t.Fatal("did not re-converge at the shifted level")
+	}
+}
+
+func TestGroupsIsolated(t *testing.T) {
+	cfg := DefaultConfig(1)
+	s := New(cfg)
+	a, b := testTrace(cpu.ClassBody), testTrace(cpu.ClassKernel)
+	ra, rb := res(100, 10, 1, 50, 5), res(900, 20, 2, 80, 8)
+	warm := cfg.Window * (cfg.Stable + 1)
+	drive(s, a, warm, ra)
+	drive(s, b, warm, rb)
+	if s.Variants() != 2 || s.SteadyVariants() != 2 {
+		t.Fatalf("groups=%d steady=%d, want 2/2", s.Variants(), s.SteadyVariants())
+	}
+	// Modeled draws never leak across groups.
+	sawModeled := 0
+	for i := 0; i < 2*cfg.Detail*cfg.Every; i++ {
+		if r, ok := s.Next(a); ok {
+			sawModeled++
+			if r.Cycles != 100 {
+				t.Fatalf("group a drew %v cycles", r.Cycles)
+			}
+		} else {
+			s.Observe(a, ra)
+		}
+		if r, ok := s.Next(b); ok {
+			sawModeled++
+			if r.Cycles != 900 {
+				t.Fatalf("group b drew %v cycles", r.Cycles)
+			}
+		} else {
+			s.Observe(b, rb)
+		}
+	}
+	if sawModeled == 0 {
+		t.Fatal("no modeled requests in two full periods")
+	}
+}
+
+func TestVariantsPoolByGroup(t *testing.T) {
+	cfg := DefaultConfig(1)
+	s := New(cfg)
+	// Two variants of one pregenerated set share statistics via Group.
+	canon := testTrace(cpu.ClassBody)
+	canon.Group = canon
+	other := testTrace(cpu.ClassBody)
+	other.Group = canon
+	r := res(100, 10, 1, 50, 5)
+	warm := cfg.Window * (cfg.Stable + 1)
+	// Alternate the two variants: the pooled group converges with warm
+	// total observations, not warm per variant.
+	for i := 0; i < warm; i++ {
+		tr := canon
+		if i%2 == 1 {
+			tr = other
+		}
+		if _, ok := s.Next(tr); ok {
+			t.Fatal("modeled before convergence")
+		}
+		s.Observe(tr, r)
+	}
+	if s.Variants() != 1 {
+		t.Fatalf("Variants = %d, want 1 pooled group", s.Variants())
+	}
+	if s.SteadyVariants() != 1 {
+		t.Fatal("pooled group did not converge")
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, []float64) {
+		s := NewDefault(3)
+		tr := testTrace(cpu.ClassBody)
+		var draws []float64
+		for i := 0; i < 2000; i++ {
+			if r, ok := s.Next(tr); ok {
+				draws = append(draws, r.Cycles)
+				continue
+			}
+			// Mildly varying but converging costs.
+			s.Observe(tr, res(100+float64(i%3), 10, 1, 50, 5))
+		}
+		return s.Executed(), s.Modeled(), draws
+	}
+	e1, m1, d1 := run()
+	e2, m2, d2 := run()
+	if e1 != e2 || m1 != m2 || len(d1) != len(d2) {
+		t.Fatalf("runs diverged: %d/%d/%d vs %d/%d/%d", e1, m1, len(d1), e2, m2, len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("draw sequences diverged")
+		}
+	}
+	if m1 == 0 {
+		t.Fatal("no modeled requests in 2000 — detector never converged")
+	}
+}
+
+func TestHoldArmNeverModelsWarmup(t *testing.T) {
+	cfg := DefaultConfig(1)
+	s := New(cfg)
+	s.Hold()
+	tr := testTrace(cpu.ClassBody)
+	r := res(100, 10, 1, 50, 5)
+
+	// Held, the sampler never models — even long after the detector has
+	// converged on the warmup traffic.
+	warm := cfg.Window * (cfg.Stable + 3)
+	ex, mo := drive(s, tr, warm, r)
+	if mo != 0 || ex != warm {
+		t.Fatalf("held: executed=%d modeled=%d, want all %d executed", ex, mo, warm)
+	}
+	if s.SteadyVariants() != 1 {
+		t.Fatal("detector did not learn during the held warmup")
+	}
+
+	// Arm starts a sampling period at position 0: the first Detail
+	// requests are the detailed window, then modeling begins immediately
+	// — the held warmup already paid the convergence cost.
+	s.Arm()
+	ex, mo = drive(s, tr, cfg.Detail, r)
+	if mo != 0 || ex != cfg.Detail {
+		t.Fatalf("post-arm detailed window: executed=%d modeled=%d", ex, mo)
+	}
+	if _, ok := s.Next(tr); !ok {
+		t.Fatal("first request after the detailed window was not modeled")
+	}
+}
+
+func TestSteadyShareWeighsTraffic(t *testing.T) {
+	cfg := DefaultConfig(1)
+	s := New(cfg)
+	tr := testTrace(cpu.ClassBody)
+	if s.SteadyShare() != 0 {
+		t.Fatalf("empty sampler share = %v, want 0", s.SteadyShare())
+	}
+	warm := cfg.Window * (cfg.Stable + 1)
+	drive(s, tr, warm, res(100, 10, 1, 50, 5))
+	if got := s.SteadyShare(); got != 1 {
+		t.Fatalf("single steady group share = %v, want 1", got)
+	}
+	// A second, never-converging group drags the share down by its own
+	// traffic weight: share is traffic-weighted, not group-counted.
+	noisy := testTrace(cpu.ClassKernel)
+	for w := 0; w < 4; w++ {
+		cycles := 100.0
+		if w%2 == 1 {
+			cycles = 300
+		}
+		for i := 0; i < cfg.Window; i++ {
+			if _, ok := s.Next(noisy); !ok {
+				s.Observe(noisy, res(cycles, 10, 1, 50, 5))
+			}
+		}
+	}
+	got := s.SteadyShare()
+	want := float64(warm) / float64(warm+4*cfg.Window)
+	if got <= 0 || got >= 1 || absDiff(got, want) > 1e-9 {
+		t.Fatalf("mixed share = %v, want %v", got, want)
+	}
+}
+
+func TestConfigNormalization(t *testing.T) {
+	s := New(Config{Seed: 5}) // all-zero tuning takes defaults
+	d := DefaultConfig(5)
+	if s.cfg != d {
+		t.Fatalf("norm() = %+v, want %+v", s.cfg, d)
+	}
+	if s.period != d.Detail*d.Every || s.warmSkip != d.Detail/4 {
+		t.Fatalf("schedule: period=%d warmSkip=%d", s.period, s.warmSkip)
+	}
+}

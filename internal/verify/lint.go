@@ -37,6 +37,7 @@ var DeterministicPackages = []string{
 	"internal/netsim",
 	"internal/sim",
 	"internal/stats",
+	"internal/steady",
 }
 
 // NoallocPackages is the default target set of the noalloc gate: the

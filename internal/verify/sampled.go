@@ -1,0 +1,100 @@
+package verify
+
+import (
+	"math"
+	"sort"
+
+	"ditto/internal/dtrace"
+)
+
+// This file is the error-budget half of the sampled steady-state contract
+// (internal/steady): a sampled run must be metrically indistinguishable
+// from the fully executed run it stands in for. CheckSampled compares the
+// end-to-end latency distribution, the goodput, and the per-edge call
+// graph of the two runs and reports every excursion beyond the budget as
+// an error finding, reusing the conformance Report schema so dittolint
+// -json and the test suite consume it unchanged.
+
+// SampledBudget bounds the drift a sampled run may show against its full
+// reference. Latency and goodput budgets are relative; edge-count budgets
+// combine a relative bound with an absolute slack so low-traffic edges
+// (a handful of retries per window) are judged by count distance, not by
+// a meaningless ratio.
+type SampledBudget struct {
+	LatencyRel float64 // p50/p95/p99 relative drift bound
+	GoodputRel float64 // goodput (received/s) relative drift bound
+	EdgeRel    float64 // per-edge Calls/Retries/Errors relative bound
+	EdgeAbs    float64 // absolute slack for small per-edge counts
+}
+
+// DefaultSampledBudget is the budget the PR's acceptance gate enforces:
+// under 1% on the latency percentiles and goodput — the paper-facing
+// metrics every figure reports — and 2% (or ±4 events on sparse edges)
+// on the per-edge call-graph statistics.
+func DefaultSampledBudget() SampledBudget {
+	return SampledBudget{LatencyRel: 0.01, GoodputRel: 0.01, EdgeRel: 0.02, EdgeAbs: 4}
+}
+
+// SampledRun is the measurement summary CheckSampled compares: the
+// end-to-end percentiles and goodput of one run plus (for multi-tier
+// deployments) the call-graph edges BuildGraph derived from its spans.
+type SampledRun struct {
+	P50Ms, P95Ms, P99Ms float64
+	Goodput             float64
+	Edges               []dtrace.Edge
+}
+
+// CheckSampled verifies a sampled run against its fully executed
+// reference under the budget. Edges present in only one run are compared
+// against zero counts — a sampled run may not invent or drop call-graph
+// edges beyond the absolute slack.
+func CheckSampled(name string, full, sampled SampledRun, b SampledBudget) *Report {
+	r := &Report{Name: name}
+	rel := func(stat string, got, want, tol float64) {
+		r.stat(stat, got, want, math.Abs(got-want), tol*math.Abs(want))
+	}
+	rel("p50", sampled.P50Ms, full.P50Ms, b.LatencyRel)
+	rel("p95", sampled.P95Ms, full.P95Ms, b.LatencyRel)
+	rel("p99", sampled.P99Ms, full.P99Ms, b.LatencyRel)
+	rel("goodput", sampled.Goodput, full.Goodput, b.GoodputRel)
+
+	fullE := edgeIndex(full.Edges)
+	sampE := edgeIndex(sampled.Edges)
+	count := func(stat string, got, want int) {
+		eff := b.EdgeRel * math.Abs(float64(want))
+		if b.EdgeAbs > eff {
+			eff = b.EdgeAbs
+		}
+		r.stat(stat, float64(got), float64(want), math.Abs(float64(got-want)), eff)
+	}
+	for _, key := range edgeKeys(fullE, sampE) {
+		f, s := fullE[key], sampE[key]
+		count(key+" calls", s.Calls, f.Calls)
+		count(key+" retries", s.Retries, f.Retries)
+		count(key+" errors", s.Errors, f.Errors)
+	}
+	return r
+}
+
+func edgeIndex(edges []dtrace.Edge) map[string]dtrace.Edge {
+	m := make(map[string]dtrace.Edge, len(edges))
+	for _, e := range edges {
+		m[e.From+"->"+e.To] = e
+	}
+	return m
+}
+
+func edgeKeys(ms ...map[string]dtrace.Edge) []string {
+	seen := map[string]bool{}
+	var keys []string
+	for _, m := range ms {
+		for k := range m {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
